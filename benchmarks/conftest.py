@@ -1,0 +1,63 @@
+"""Shared scale configuration for the benchmark suite.
+
+Every benchmark regenerates one figure/table of the paper's Section VI
+at laptop scale (see DESIGN.md's experiment index).  Rendered tables are
+printed to stdout and written under ``benchmarks/results/`` so that
+EXPERIMENTS.md can quote them.
+
+The scales here keep the full suite in the minutes range on pure
+Python.  Increase ``stream_edges``/``queries_per_cell``/sizes for
+closer-to-paper settings.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import ExperimentConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a rendered table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def quick_config() -> ExperimentConfig:
+    """Main sweep scale: three datasets spanning the multiplicity range."""
+    return ExperimentConfig(
+        datasets=("superuser", "yahoo", "lsbench"),
+        stream_edges=1000,
+        queries_per_cell=3,
+        default_query_size=5,
+        default_density=0.5,
+        default_window_fraction=0.3,
+        time_limit=4.0,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def heavy_config() -> ExperimentConfig:
+    """The remaining three datasets.  Netflow is generated directed with
+    a scaled-down edge-label alphabet (the real CAIDA data has 346k edge
+    labels), which is what keeps single-vertex-label matching tractable
+    - see DESIGN.md, Substitutions."""
+    return ExperimentConfig(
+        datasets=("netflow", "stackoverflow", "wikitalk"),
+        stream_edges=800,
+        queries_per_cell=3,
+        default_query_size=5,
+        default_density=0.5,
+        default_window_fraction=0.3,
+        time_limit=4.0,
+        seed=0,
+    )

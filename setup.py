@@ -1,0 +1,15 @@
+"""Legacy setup shim so that ``pip install -e .`` works offline
+(the environment lacks the ``wheel`` package needed for PEP 517
+editable installs)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Time-constrained continuous subgraph matching "
+                 "(TCM, ICDE 2024) - full reproduction"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,16 @@
+"""Baseline engines the paper compares against (Section VI).
+
+* :class:`SymBiEngine` — SymBi [23] adapted as in the paper: continuous
+  subgraph matching with the DCS structure but no temporal awareness;
+  the temporal order is checked on complete embeddings.
+* :class:`RapidFlowEngine` — RapidFlow [34] adapted the same way, with
+  local candidate computation and a static dense-first matching order.
+* :class:`TimingEngine` — Timing [17]: materializes all partial matches
+  of query prefixes and joins them incrementally (exponential space).
+"""
+
+from repro.baselines.symbi import SymBiEngine
+from repro.baselines.rapidflow import RapidFlowEngine
+from repro.baselines.timing import TimingEngine
+
+__all__ = ["SymBiEngine", "RapidFlowEngine", "TimingEngine"]

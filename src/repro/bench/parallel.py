@@ -1,0 +1,79 @@
+"""Parallel multi-query processing (the paper's future-work direction).
+
+The paper closes with "Parallelizing our approach is an interesting
+future work."  The natural first parallelization for continuous matching
+is *inter-query*: production deployments register many patterns against
+the same stream, and distinct queries share nothing but the input, so
+they partition perfectly across worker processes.  This module provides
+that: :func:`run_queries_parallel` fans a query set out over a process
+pool (sidestepping the GIL) and collects per-query results.
+
+Intra-query parallelism (splitting one query's backtracking across
+workers) would require sharing the DCS/max-min structures and is left as
+the genuinely open part of the future work; the module documents the
+boundary explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.runner import QueryResult, run_query
+from repro.graph.temporal_graph import Edge
+from repro.query.temporal_query import TemporalQuery
+
+
+@dataclass(frozen=True)
+class ParallelTask:
+    """One (engine, query) unit of work over a shared stream."""
+
+    engine: str
+    query: TemporalQuery
+    labels: Dict[int, object]
+    edges: Tuple[Edge, ...]
+    delta: int
+    time_limit: Optional[float]
+    edge_labels: Optional[Dict[Edge, object]]
+
+
+def _run_task(task: ParallelTask) -> QueryResult:
+    """Worker entry point (must be module-level for pickling)."""
+    edge_label_fn = (task.edge_labels.get
+                     if task.edge_labels is not None else None)
+    return run_query(task.engine, task.query, task.labels,
+                     list(task.edges), task.delta,
+                     time_limit=task.time_limit,
+                     edge_label_fn=edge_label_fn)
+
+
+def run_queries_parallel(engine: str,
+                         queries: Sequence[TemporalQuery],
+                         labels: Dict[int, object],
+                         edges: Sequence[Edge],
+                         delta: int,
+                         time_limit: Optional[float] = None,
+                         edge_labels: Optional[Dict[Edge, object]] = None,
+                         max_workers: Optional[int] = None
+                         ) -> List[QueryResult]:
+    """Run ``engine`` for every query in ``queries`` over one stream,
+    distributing queries across worker processes.
+
+    Results are returned in query order.  With ``max_workers=1`` (or a
+    single query) the work runs in-process, which keeps the function
+    usable in environments where forking is restricted.
+    """
+    tasks = [
+        ParallelTask(engine=engine, query=q, labels=dict(labels),
+                     edges=tuple(edges), delta=delta,
+                     time_limit=time_limit, edge_labels=edge_labels)
+        for q in queries
+    ]
+    if max_workers is None:
+        max_workers = min(len(tasks), os.cpu_count() or 1)
+    if max_workers <= 1 or len(tasks) <= 1:
+        return [_run_task(t) for t in tasks]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(_run_task, tasks))

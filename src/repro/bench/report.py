@@ -1,0 +1,119 @@
+"""Plain-text rendering of experiment results in the paper's layout.
+
+Each formatter prints the same rows/series the paper's figures and
+tables report: engines as series, the swept parameter as the x-axis,
+datasets as panels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.bench.experiments import CellResult
+
+
+def format_cells(cells: Sequence[CellResult], title: str,
+                 value: str = "elapsed") -> str:
+    """Render a sweep as per-dataset panels of engine series.
+
+    ``value`` selects the measurement: ``"elapsed"`` (average ms),
+    ``"solved"`` (solved/total), or ``"memory"`` (peak structure
+    entries).
+    """
+    datasets = _ordered_unique(c.dataset for c in cells)
+    engines = _ordered_unique(c.engine for c in cells)
+    xs = sorted({c.x for c in cells})
+    by_key = {(c.engine, c.dataset, c.x): c for c in cells}
+
+    lines = [title, "=" * len(title)]
+    for dataset in datasets:
+        lines.append(f"\n[{dataset}]")
+        header = "engine".ljust(14) + "".join(
+            _fmt_x(x).rjust(12) for x in xs)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for engine in engines:
+            row = [engine.ljust(14)]
+            for x in xs:
+                cell = by_key.get((engine, dataset, x))
+                row.append(_render_value(cell, value).rjust(12))
+            lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def _render_value(cell: CellResult, value: str) -> str:
+    if cell is None:
+        return "-"
+    if value == "elapsed":
+        return f"{cell.avg_elapsed_ms:.1f}ms"
+    if value == "solved":
+        return f"{cell.solved}/{cell.total}"
+    if value == "memory":
+        return f"{cell.avg_peak_entries:.0f}"
+    if value == "matches":
+        return f"{cell.avg_matches:.0f}"
+    raise ValueError(f"unknown value selector {value!r}")
+
+
+def format_table5(rows: Sequence[Dict[str, float]]) -> str:
+    """Render the Table V filtering-power ratios."""
+    sizes = sorted({r["size"] for r in rows})
+    datasets = _ordered_unique(r["dataset"] for r in rows)
+    by_key = {(r["dataset"], r["size"]): r for r in rows}
+    lines = ["Table V: filtering power with/without TC-matchable edge",
+             "(ratios; smaller = more filtering)", ""]
+    for metric, label in (("edge_ratio", "DCS edges"),
+                          ("vertex_ratio", "DCS vertices")):
+        lines.append(f"-- ratio of {label} --")
+        header = "dataset".ljust(16) + "".join(
+            f"q={int(s)}".rjust(9) for s in sizes) + "      avg".rjust(9)
+        lines.append(header)
+        for dataset in datasets:
+            vals = []
+            row = [dataset.ljust(16)]
+            for s in sizes:
+                r = by_key.get((dataset, s))
+                if r is None:
+                    row.append("-".rjust(9))
+                    continue
+                vals.append(r[metric])
+                row.append(f"{r[metric]:.3f}".rjust(9))
+            avg = sum(vals) / len(vals) if vals else float("nan")
+            row.append(f"{avg:.3f}".rjust(9))
+            lines.append("".join(row))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_table3(rows: Sequence[Dict[str, float]]) -> str:
+    """Render the Table III dataset characteristics."""
+    lines = ["Table III: generated dataset characteristics", ""]
+    header = ("dataset".ljust(16) + "|V|".rjust(8) + "|E|".rjust(9)
+              + "|SigV|".rjust(8) + "davg".rjust(8) + "mavg".rjust(8))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rows:
+        lines.append(
+            r["dataset"].ljust(16)
+            + f"{r['num_vertices']}".rjust(8)
+            + f"{r['num_edges']}".rjust(9)
+            + f"{r['num_labels']}".rjust(8)
+            + f"{r['avg_degree']:.1f}".rjust(8)
+            + f"{r['avg_multiplicity']:.2f}".rjust(8))
+    return "\n".join(lines)
+
+
+def _ordered_unique(items) -> List:
+    seen = set()
+    out = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            out.append(item)
+    return out
+
+
+def _fmt_x(x: float) -> str:
+    if float(x).is_integer():
+        return str(int(x))
+    return f"{x:.2f}"

@@ -1,0 +1,147 @@
+"""Command-line interface: run experiments without writing code.
+
+Usage::
+
+    python -m repro.cli table3
+    python -m repro.cli fig7 --datasets yahoo superuser --sizes 4 5 6
+    python -m repro.cli fig8 --densities 0 0.5 1
+    python -m repro.cli fig9 --fractions 0.1 0.3 0.5
+    python -m repro.cli fig10
+    python -m repro.cli fig11
+    python -m repro.cli table5
+
+Every subcommand regenerates the corresponding figure/table of the
+paper's Section VI at the configured scale and prints the rendered
+rows/series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import (
+    ExperimentConfig, ablation_sweep, dataset_table, density_sweep,
+    engine_names, filtering_power_table, format_cells, format_table3,
+    format_table5, memory_sweep, query_size_sweep, window_sweep,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Regenerate the paper's evaluation artifacts.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--datasets", nargs="+",
+                       default=["superuser", "yahoo", "lsbench"],
+                       help="dataset stand-ins to run on")
+        p.add_argument("--stream-edges", type=int, default=1000,
+                       help="edges per generated stream")
+        p.add_argument("--queries", type=int, default=3,
+                       help="queries per cell")
+        p.add_argument("--time-limit", type=float, default=5.0,
+                       help="per-query time limit in seconds")
+        p.add_argument("--engines", nargs="+", default=None,
+                       help=f"engines (default: all of {engine_names()})")
+        p.add_argument("--seed", type=int, default=0)
+
+    p7 = sub.add_parser("fig7", help="time/#solved vs query size")
+    add_common(p7)
+    p7.add_argument("--sizes", nargs="+", type=int, default=[4, 5, 6])
+
+    p8 = sub.add_parser("fig8", help="time/#solved vs order density")
+    add_common(p8)
+    p8.add_argument("--densities", nargs="+", type=float,
+                    default=[0.0, 0.5, 1.0])
+
+    p9 = sub.add_parser("fig9", help="time/#solved vs window size")
+    add_common(p9)
+    p9.add_argument("--fractions", nargs="+", type=float,
+                    default=[0.1, 0.3, 0.5])
+
+    p10 = sub.add_parser("fig10", help="peak memory vs query size")
+    add_common(p10)
+    p10.add_argument("--sizes", nargs="+", type=int, default=[3, 4, 5, 6])
+
+    p11 = sub.add_parser("fig11", help="ablation study")
+    add_common(p11)
+    p11.add_argument("--sizes", nargs="+", type=int, default=[4, 5, 6])
+
+    p5 = sub.add_parser("table5", help="filtering power ratios")
+    add_common(p5)
+    p5.add_argument("--sizes", nargs="+", type=int, default=[3, 4, 5, 6])
+
+    p3 = sub.add_parser("table3", help="dataset characteristics")
+    p3.add_argument("--stream-edges", type=int, default=3000)
+    p3.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _config(args) -> ExperimentConfig:
+    return ExperimentConfig(
+        datasets=tuple(args.datasets),
+        stream_edges=args.stream_edges,
+        queries_per_cell=args.queries,
+        time_limit=args.time_limit,
+        seed=args.seed,
+    )
+
+
+def _engines(args) -> List[str]:
+    return list(args.engines) if args.engines else engine_names()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    command = args.command
+
+    if command == "table3":
+        print(format_table3(dataset_table(args.stream_edges, args.seed)))
+        return 0
+
+    config = _config(args)
+    if command == "fig7":
+        cells = query_size_sweep(_engines(args), config, tuple(args.sizes))
+        print(format_cells(cells, "Figure 7a: elapsed vs query size",
+                           "elapsed"))
+        print()
+        print(format_cells(cells, "Figure 7b: solved vs query size",
+                           "solved"))
+    elif command == "fig8":
+        cells = density_sweep(_engines(args), config,
+                              tuple(args.densities))
+        print(format_cells(cells, "Figure 8a: elapsed vs density",
+                           "elapsed"))
+        print()
+        print(format_cells(cells, "Figure 8b: solved vs density",
+                           "solved"))
+    elif command == "fig9":
+        cells = window_sweep(_engines(args), config,
+                             tuple(args.fractions))
+        print(format_cells(cells, "Figure 9a: elapsed vs window",
+                           "elapsed"))
+        print()
+        print(format_cells(cells, "Figure 9b: solved vs window", "solved"))
+    elif command == "fig10":
+        cells = memory_sweep(("tcm", "timing"), config, tuple(args.sizes))
+        print(format_cells(cells, "Figure 10: peak structure entries",
+                           "memory"))
+    elif command == "fig11":
+        cells = ablation_sweep(config, tuple(args.sizes))
+        print(format_cells(cells, "Figure 11a: ablation elapsed",
+                           "elapsed"))
+        print()
+        print(format_cells(cells, "Figure 11b: ablation solved", "solved"))
+    elif command == "table5":
+        rows = filtering_power_table(config, tuple(args.sizes))
+        print(format_table5(rows))
+    else:  # pragma: no cover - argparse guards this
+        raise AssertionError(command)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

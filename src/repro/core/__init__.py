@@ -1,0 +1,7 @@
+"""Core of the paper's contribution: query DAGs, max-min timestamps,
+the DCS candidate structure, and time-constrained backtracking."""
+
+from repro.core.dag import QueryDag, build_best_dag, build_dag
+from repro.core.tcm import TCMEngine
+
+__all__ = ["QueryDag", "build_best_dag", "build_dag", "TCMEngine"]

@@ -1,0 +1,306 @@
+"""Time-constrained backtracking (Section V, Algorithm 4).
+
+``FindMatches`` enumerates every time-constrained embedding containing a
+given event edge.  Unlike non-temporal continuous matching, the mapping of
+*edges* matters because parallel data edges differ only in timestamp, so
+the search interleaves two extension steps:
+
+* whenever an unmapped query edge has both endpoints mapped, the edge is
+  mapped next, choosing among the candidate set ``ECM(e)`` (Def. V.2);
+* otherwise an extendable query vertex is mapped, choosing the vertex
+  with the fewest candidates as in SymBi [23].
+
+Three time-constrained pruning rules cut parallel-edge candidates
+(Section V), driven by the split of the temporally related edges of ``e``
+into the already-mapped ``R+`` and the not-yet-mapped ``R-``:
+
+1. ``R- = {}``: all parallel candidates lead to isomorphic subtrees, so
+   only one is explored and the embeddings found are cloned onto the
+   remaining candidates.
+2. ``R-`` uniformly after (resp. before) ``e``: candidates are tried in
+   chronological (resp. reverse) order and the scan stops at the first
+   failing candidate — failures are monotone in the timestamp.
+3. mixed ``R-``: *temporal failing sets* (Definition V.3).  When a
+   candidate's subtree fails and the failed subtree's failing set does
+   not contain ``e``, the failure did not depend on which parallel edge
+   ``e`` mapped to, so the remaining candidates are pruned.
+
+Vertex-extension failures are timestamp-independent (candidate vertex
+sets never read timestamps), so they contribute an empty failing set —
+the strongest possible signal for rule 3.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.dcs import DCS
+from repro.graph.temporal_graph import Edge, TemporalGraph
+from repro.query.matching import edge_orientations, make_image
+from repro.query.temporal_query import QueryEdge, TemporalQuery
+from repro.streaming.engine import EngineStats
+from repro.streaming.match import Match
+
+INF = float("inf")
+
+_EMPTY: FrozenSet[int] = frozenset()
+
+
+class Backtracker:
+    """Backtracking search over one DCS; reusable across events."""
+
+    def __init__(self, query: TemporalQuery, dcs: DCS, graph: TemporalGraph,
+                 stats: EngineStats, use_pruning: bool = True):
+        self.query = query
+        self.dcs = dcs
+        self.graph = graph
+        self.stats = stats
+        self.use_pruning = use_pruning
+        n, m = query.num_vertices, query.num_edges
+        self._vmap: List[Optional[int]] = [None] * n
+        self._emap: List[Optional[Edge]] = [None] * m
+        self._used_v: Set[int] = set()
+        self._used_e: Set[Edge] = set()
+        self._out: List[Match] = []
+        self._cm_cache: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def find_matches(self, event_edge: Edge) -> List[Match]:
+        """All time-constrained embeddings whose image contains
+        ``event_edge``, given the current graph and DCS state."""
+        self._out = []
+        t = event_edge.t
+        for qe in self.query.edges:
+            for va, vb in edge_orientations(self.query, qe, event_edge):
+                if va == vb:
+                    continue
+                if not self.dcs.has_edge(qe.index, va, vb, t):
+                    continue
+                if not (self.dcs.d2(qe.u, va) and self.dcs.d2(qe.v, vb)):
+                    continue
+                self._vmap[qe.u], self._vmap[qe.v] = va, vb
+                self._used_v.update((va, vb))
+                self._emap[qe.index] = event_edge
+                self._used_e.add(event_edge)
+                self._explore()
+                self._used_e.discard(event_edge)
+                self._emap[qe.index] = None
+                self._used_v.difference_update((va, vb))
+                self._vmap[qe.u] = self._vmap[qe.v] = None
+        self.stats.matches_emitted += len(self._out)
+        return self._out
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _explore(self) -> Tuple[int, FrozenSet[int]]:
+        """Explore all completions of the current partial embedding.
+
+        Returns ``(count, failing_set)``; the failing set is meaningful
+        only when ``count`` is zero and covers the temporal dependencies
+        of every failure in the subtree (edges mapped strictly below the
+        current node contribute their ``R+`` sets, Definition V.3).
+        """
+        self.stats.backtrack_nodes += 1
+        pending = self._next_pending_edge()
+        if pending is not None:
+            return self._extend_edge(pending)
+        u = self._pick_vertex()
+        if u is None:
+            self._report()
+            return 1, _EMPTY
+        return self._extend_vertex(u)
+
+    def _next_pending_edge(self) -> Optional[QueryEdge]:
+        """The lowest-index unmapped query edge with both endpoints
+        mapped, or None."""
+        for qe in self.query.edges:
+            if (self._emap[qe.index] is None
+                    and self._vmap[qe.u] is not None
+                    and self._vmap[qe.v] is not None):
+                return qe
+        return None
+
+    # ------------------------------------------------------------------
+    # Edge extension (Section V pruning rules)
+    # ------------------------------------------------------------------
+    def _extend_edge(self, qe: QueryEdge) -> Tuple[int, FrozenSet[int]]:
+        e = qe.index
+        related = self.query.related_to(e)
+        r_plus = frozenset(f for f in related if self._emap[f] is not None)
+        cands = self._ecm(qe, r_plus)
+        if not cands:
+            return 0, r_plus
+        if not self.use_pruning:
+            return self._scan_all(qe, cands, r_plus, prune=False)
+
+        r_minus = [f for f in related if self._emap[f] is None]
+        if not r_minus:
+            return self._rule1_clone(qe, cands, r_plus)
+        if all(self.query.precedes(e, f) for f in r_minus):
+            return self._rule2_monotone(qe, cands, r_plus)
+        if all(self.query.precedes(f, e) for f in r_minus):
+            return self._rule2_monotone(qe, list(reversed(cands)), r_plus)
+        return self._scan_all(qe, cands, r_plus, prune=True)
+
+    def _ecm(self, qe: QueryEdge, r_plus: FrozenSet[int]) -> List[int]:
+        """Candidate timestamps for ``qe`` between its mapped endpoints,
+        filtered by the temporal order against mapped related edges
+        (Definition V.2), ascending."""
+        e = qe.index
+        a, b = self._vmap[qe.u], self._vmap[qe.v]
+        lo, hi = -INF, INF
+        for f in r_plus:
+            t_f = self._emap[f].t
+            if self.query.precedes(f, e):
+                if t_f > lo:
+                    lo = t_f
+            elif t_f < hi:
+                hi = t_f
+        out = []
+        for t in self.dcs.timestamps(e, a, b):
+            if t <= lo:
+                continue
+            if t >= hi:
+                break
+            if make_image(self.query, a, b, t) not in self._used_e:
+                out.append(t)
+        return out
+
+    def _with_edge(self, qe: QueryEdge, t: int) -> Tuple[int, FrozenSet[int]]:
+        """Map ``qe`` to the candidate timestamp ``t`` and recurse."""
+        image = make_image(self.query, self._vmap[qe.u], self._vmap[qe.v], t)
+        self._emap[qe.index] = image
+        self._used_e.add(image)
+        result = self._explore()
+        self._used_e.discard(image)
+        self._emap[qe.index] = None
+        return result
+
+    def _rule1_clone(self, qe: QueryEdge, cands: List[int],
+                     r_plus: FrozenSet[int]) -> Tuple[int, FrozenSet[int]]:
+        """Rule 1: no unmapped related edges — explore one candidate and
+        clone its embeddings onto the other parallel candidates."""
+        start = len(self._out)
+        count, tf = self._with_edge(qe, cands[0])
+        if count == 0:
+            self.stats.candidates_pruned += len(cands) - 1
+            return 0, tf | r_plus
+        found = self._out[start:]
+        a, b = self._vmap[qe.u], self._vmap[qe.v]
+        for t in cands[1:]:
+            replacement = make_image(self.query, a, b, t)
+            for match in found:
+                edge_map = list(match.edge_map)
+                edge_map[qe.index] = replacement
+                self._out.append(Match(match.vertex_map, tuple(edge_map)))
+        return len(cands) * count, _EMPTY
+
+    def _rule2_monotone(self, qe: QueryEdge, ordered: Sequence[int],
+                        r_plus: FrozenSet[int]) -> Tuple[int, FrozenSet[int]]:
+        """Rule 2: uniformly-directed ``R-`` — stop at the first failure."""
+        total = 0
+        for i, t in enumerate(ordered):
+            count, tf = self._with_edge(qe, t)
+            if count == 0:
+                self.stats.candidates_pruned += len(ordered) - i - 1
+                if total == 0:
+                    return 0, tf | r_plus
+                return total, _EMPTY
+            total += count
+        return total, _EMPTY
+
+    def _scan_all(self, qe: QueryEdge, cands: Sequence[int],
+                  r_plus: FrozenSet[int], prune: bool
+                  ) -> Tuple[int, FrozenSet[int]]:
+        """Full candidate scan, with rule-3 failing-set pruning if asked."""
+        e = qe.index
+        total = 0
+        union_tf: Set[int] = set()
+        for i, t in enumerate(cands):
+            count, tf = self._with_edge(qe, t)
+            if count:
+                total += count
+                continue
+            tf_full = tf | r_plus
+            if prune and e not in tf_full:
+                self.stats.candidates_pruned += len(cands) - i - 1
+                if total == 0:
+                    return 0, tf_full
+                return total, _EMPTY
+            union_tf |= tf_full
+        if total == 0:
+            return 0, frozenset(union_tf)
+        return total, _EMPTY
+
+    # ------------------------------------------------------------------
+    # Vertex extension
+    # ------------------------------------------------------------------
+    def _pick_vertex(self) -> Optional[int]:
+        """The extendable vertex with the fewest candidates (SymBi's
+        adaptive matching order), or None when all vertices are mapped."""
+        best_u, best_cm = None, None
+        for u in range(self.query.num_vertices):
+            if self._vmap[u] is not None:
+                continue
+            if all(self._vmap[w] is None for w in self.query.neighbors(u)):
+                continue
+            cm = self._cm(u)
+            if best_cm is None or len(cm) < len(best_cm):
+                best_u, best_cm = u, cm
+                if not cm:
+                    break
+        if best_u is None:
+            return None
+        self._cm_cache = best_cm
+        return best_u
+
+    def _cm(self, u: int) -> List[int]:
+        """Candidate data vertices for ``u`` (label/DCS/adjacency filter)."""
+        anchors = [qe for qe in self.query.incident_edges(u)
+                   if self._vmap[qe.other(u)] is not None]
+        pool = self.graph.neighbors(self._vmap[anchors[0].other(u)])
+        out = []
+        for v in pool:
+            if v in self._used_v or not self.dcs.d2(u, v):
+                continue
+            if all(self._dcs_nonempty(qe, u, v) for qe in anchors):
+                out.append(v)
+        return out
+
+    def _dcs_nonempty(self, qe: QueryEdge, u: int, v: int) -> bool:
+        """True if some DCS edge supports mapping ``u -> v`` across
+        ``qe`` given the mapped other endpoint."""
+        w = self._vmap[qe.other(u)]
+        if u == qe.u:
+            return bool(self.dcs.timestamps(qe.index, v, w))
+        return bool(self.dcs.timestamps(qe.index, w, v))
+
+    def _extend_vertex(self, u: int) -> Tuple[int, FrozenSet[int]]:
+        cm = self._cm_cache
+        total = 0
+        union_tf: Set[int] = set()
+        for v in cm:
+            self._vmap[u] = v
+            self._used_v.add(v)
+            count, tf = self._explore()
+            self._used_v.discard(v)
+            self._vmap[u] = None
+            if count:
+                total += count
+            else:
+                union_tf |= tf
+        if total == 0:
+            return 0, frozenset(union_tf)
+        return total, _EMPTY
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _report(self) -> None:
+        self._out.append(Match(
+            vertex_map=tuple(self._vmap),          # type: ignore[arg-type]
+            edge_map=tuple(self._emap),            # type: ignore[arg-type]
+        ))

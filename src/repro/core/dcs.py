@@ -1,0 +1,226 @@
+"""Dynamic candidate space (DCS) — the auxiliary structure of SymBi [23].
+
+The DCS stores, for every query edge, the data edges that survived
+filtering (for TCM: the TC-matchable edges; for the SymBi baseline: all
+label-compatible edges), plus two boolean dynamic-programming tables over
+vertex pairs:
+
+* ``D1[u, v]`` — there is a weak embedding of the reverse sub-DAG at
+  ``v`` covering u's ancestors (computed root-down along the query DAG);
+* ``D2[u, v]`` — ``D1[u, v]`` holds and there is a weak embedding of the
+  sub-DAG ``q̂_u`` at ``v`` through surviving DCS edges (computed
+  leaf-up).
+
+``D2`` is the bidirectional vertex filter: the backtracking engine only
+maps ``u`` to ``v`` when ``D2[u, v]`` holds.  Both tables are maintained
+incrementally with the same worklist pattern as the max-min index.  The
+number of stored DCS edges and the number of pairs with ``D2`` true are
+the two filtering-power measures of Table V.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.core.dag import QueryDag
+from repro.graph.temporal_graph import TemporalGraph
+
+
+class DCS:
+    """Candidate edge sets plus the D1/D2 vertex filter for one query DAG."""
+
+    def __init__(self, dag: QueryDag, graph: TemporalGraph):
+        self.dag = dag
+        self.query = dag.query
+        self.graph = graph
+        # _pairs[e][(a, b)] -> sorted timestamps, where a is the image of
+        # the canonical endpoint qe.u and b the image of qe.v.
+        self._pairs: List[Dict[Tuple[int, int], List[int]]] = [
+            {} for _ in range(self.query.num_edges)]
+        self._num_edges = 0
+        self._d1: Dict[Tuple[int, int], bool] = {}
+        self._d2: Dict[Tuple[int, int], bool] = {}
+
+    # ------------------------------------------------------------------
+    # Edge set
+    # ------------------------------------------------------------------
+    def apply(self, adds, removes) -> None:
+        """Apply a batch of candidate-edge changes, then refresh D1/D2.
+
+        ``adds`` and ``removes`` are iterables of ``(e, a, b, t)`` tuples
+        (query-edge index, canonical endpoint images, timestamp).  The
+        D1/D2 worklist runs once for the whole batch, seeded at every
+        label-compatible query vertex of every touched data vertex.
+        """
+        touched: Set[int] = set()
+        for e, a, b, t in adds:
+            self._insert(e, a, b, t)
+            touched.update((a, b))
+        for e, a, b, t in removes:
+            self._delete(e, a, b, t)
+            touched.update((a, b))
+        if touched:
+            self._refresh(touched)
+
+    def add_edge(self, e: int, a: int, b: int, t: int) -> None:
+        """Insert one candidate edge and refresh D1/D2."""
+        self.apply([(e, a, b, t)], [])
+
+    def remove_edge(self, e: int, a: int, b: int, t: int) -> None:
+        """Remove one candidate edge and refresh D1/D2."""
+        self.apply([], [(e, a, b, t)])
+
+    def _insert(self, e: int, a: int, b: int, t: int) -> None:
+        slot = self._pairs[e].setdefault((a, b), [])
+        idx = bisect_left(slot, t)
+        if idx < len(slot) and slot[idx] == t:
+            raise ValueError(f"duplicate DCS edge ({e}, {a}, {b}, {t})")
+        slot.insert(idx, t)
+        self._num_edges += 1
+
+    def _delete(self, e: int, a: int, b: int, t: int) -> None:
+        slot = self._pairs[e].get((a, b))
+        if slot is not None:
+            idx = bisect_left(slot, t)
+            if idx < len(slot) and slot[idx] == t:
+                slot.pop(idx)
+                if not slot:
+                    del self._pairs[e][(a, b)]
+                self._num_edges -= 1
+                return
+        raise KeyError(f"DCS edge ({e}, {a}, {b}, {t}) not present")
+
+    def has_edge(self, e: int, a: int, b: int, t: int) -> bool:
+        """Membership test for an exact candidate edge."""
+        slot = self._pairs[e].get((a, b))
+        if not slot:
+            return False
+        idx = bisect_left(slot, t)
+        return idx < len(slot) and slot[idx] == t
+
+    def timestamps(self, e: int, a: int, b: int) -> List[int]:
+        """Sorted surviving timestamps for query edge ``e`` when its
+        canonical endpoints map to ``a`` and ``b`` (internal list; do not
+        mutate)."""
+        return self._pairs[e].get((a, b), [])
+
+    def num_edges(self) -> int:
+        """Total number of stored candidate edges (Table V, top)."""
+        return self._num_edges
+
+    def num_d2_vertices(self) -> int:
+        """Number of vertex pairs passing the filter (Table V, bottom)."""
+        return sum(1 for v in self._d2.values() if v)
+
+    def size(self) -> int:
+        """Stored entries (memory accounting)."""
+        return self._num_edges + len(self._d1) + len(self._d2)
+
+    # ------------------------------------------------------------------
+    # D1 / D2 filter
+    # ------------------------------------------------------------------
+    def d2(self, u: int, v: int) -> bool:
+        """The bidirectional vertex filter used by backtracking."""
+        return self._d2.get((u, v), False)
+
+    def d1(self, u: int, v: int) -> bool:
+        """The ancestor-side filter (exposed for tests/statistics)."""
+        return self._d1.get((u, v), False)
+
+    def _refresh(self, touched: Set[int]) -> None:
+        """Recompute D1/D2 around the data vertices in ``touched``.
+
+        Every label-compatible query vertex of a touched data vertex is
+        seeded; the worklist then propagates any flips down (D1) and up
+        (D2) the DAG.  Entries of data vertices that left the window are
+        purged afterwards.
+        """
+        seeds: List[Tuple[int, int]] = []
+        for v in touched:
+            if not self.graph.has_vertex(v):
+                continue
+            label = self.graph.label(v)
+            seeds.extend((u, v) for u in range(self.query.num_vertices)
+                         if self.query.label(u) == label)
+        self._run_worklist(seeds)
+        self.purge_dead_vertices(tuple(touched))
+
+    def purge_dead_vertices(self, vertices: Tuple[int, ...]) -> None:
+        """Drop D1/D2 entries of vertices that left the window."""
+        for v in vertices:
+            if self.graph.has_vertex(v):
+                continue
+            for table in (self._d1, self._d2):
+                gone = [key for key in table if key[1] == v]
+                for key in gone:
+                    del table[key]
+
+    def _run_worklist(self, seeds: List[Tuple[int, int]]) -> None:
+        queue: Deque[Tuple[int, int]] = deque()
+        queued: Set[Tuple[int, int]] = set()
+
+        def enqueue(u: int, v: int) -> None:
+            if (u, v) not in queued:
+                queued.add((u, v))
+                queue.append((u, v))
+
+        for u, v in seeds:
+            enqueue(u, v)
+        while queue:
+            u, v = queue.popleft()
+            queued.discard((u, v))
+            if not self.graph.has_vertex(v):
+                continue
+            d1_new = self._compute_d1(u, v)
+            d2_new = self._compute_d2(u, v, d1_new)
+            d1_old = self._d1.get((u, v))
+            d2_old = self._d2.get((u, v))
+            self._d1[(u, v)] = d1_new
+            self._d2[(u, v)] = d2_new
+            if d1_new != d1_old:
+                # D1 flows to children; D2 of this pair already redone.
+                for uc, _e in self.dag.children_of[u]:
+                    label = self.query.label(uc)
+                    for vc in self.graph.neighbors(v):
+                        if self.graph.label(vc) == label:
+                            enqueue(uc, vc)
+            if d2_new != d2_old:
+                for up, _e in self.dag.parents_of[u]:
+                    label = self.query.label(up)
+                    for vp in self.graph.neighbors(v):
+                        if self.graph.label(vp) == label:
+                            enqueue(up, vp)
+
+    def _edge_images(self, e: int, u_side: int, v: int, w: int) -> List[int]:
+        """Surviving timestamps for query edge ``e`` when endpoint
+        ``u_side`` maps to ``v`` and the other endpoint maps to ``w``."""
+        qe = self.query.edges[e]
+        if u_side == qe.u:
+            return self.timestamps(e, v, w)
+        return self.timestamps(e, w, v)
+
+    def _compute_d1(self, u: int, v: int) -> bool:
+        if self.query.label(u) != self.graph.label(v):
+            return False
+        for up, e in self.dag.parents_of[u]:
+            label = self.query.label(up)
+            if not any(self.graph.label(vp) == label
+                       and self._d1.get((up, vp), False)
+                       and self._edge_images(e, u, v, vp)
+                       for vp in self.graph.neighbors(v)):
+                return False
+        return True
+
+    def _compute_d2(self, u: int, v: int, d1_value: bool) -> bool:
+        if not d1_value:
+            return False
+        for uc, e in self.dag.children_of[u]:
+            label = self.query.label(uc)
+            if not any(self.graph.label(vc) == label
+                       and self._d2.get((uc, vc), False)
+                       and self._edge_images(e, u, v, vc)
+                       for vc in self.graph.neighbors(v)):
+                return False
+        return True

@@ -1,0 +1,214 @@
+"""Max-min timestamps and their incremental maintenance (Section IV-C).
+
+For a query DAG ``q̂``, the max-min timestamp ``T[u, v, e]`` is the largest
+"min timestamp for e" over all weak embeddings of the sub-DAG ``q̂_u`` at
+data vertex ``v`` (Definitions IV.2 / IV.3).  Lemma IV.3 then decides in
+O(1) whether a query edge is a TC-matchable edge of a data edge.
+
+The paper presents the case ``e < e'`` (temporal descendants that must be
+*later* than e's image) and notes the case ``e' < e`` is symmetric.  We
+implement both:
+
+* ``gt[e]`` — largest over weak embeddings of the minimum timestamp among
+  images of temporal descendants ``e'`` with ``e < e'``; the candidate
+  timestamp must be strictly below it.
+* ``lt[e]`` — smallest over weak embeddings of the maximum timestamp among
+  images of temporal descendants ``e'`` with ``e' < e``; the candidate
+  timestamp must be strictly above it.
+
+Both use the same dynamic program, Equation (1), maintained incrementally
+by a worklist that recomputes only entries whose inputs changed
+(TCMInsertion / TCMDeletion, Algorithm 3).  Existence of *any* weak
+embedding of ``q̂_u`` at ``v`` (the ``ok`` flag) rides along in the same
+recurrence; a missing weak embedding means the edge is filtered outright.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Set, Tuple
+
+from repro.core.dag import QueryDag
+from repro.graph.temporal_graph import TemporalGraph
+from repro.query.matching import candidate_timestamps
+
+INF = float("inf")
+
+# An entry is (ok, gt, lt): ok = a weak embedding of q̂_u at v exists;
+# gt / lt map relevant query-edge indices to their bounds.
+Entry = Tuple[bool, Dict[int, float], Dict[int, float]]
+
+_ABSENT: Entry = (False, {}, {})
+
+
+class MaxMinIndex:
+    """Max-min timestamp table ``T(q̂)`` for one query DAG over one graph.
+
+    The graph is owned by the engine and mutated externally; after each
+    edge insertion/removal the engine calls :meth:`on_graph_change`, which
+    reruns the dynamic program on exactly the affected entries and returns
+    the set of ``(u, v)`` pairs whose entry changed.
+    """
+
+    def __init__(self, dag: QueryDag, graph: TemporalGraph):
+        self.dag = dag
+        self.query = dag.query
+        self.graph = graph
+        self._entries: Dict[Tuple[int, int], Entry] = {}
+        # Entry (u, v) always stores 1 + |rel_gt[u]| + |rel_lt[u]|
+        # scalars, so the total size is maintainable as a counter.
+        self._entry_cost = [1 + len(dag.rel_gt[u]) + len(dag.rel_lt[u])
+                            for u in range(self.query.num_vertices)]
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def entry(self, u: int, v: int) -> Entry:
+        """The entry for ``(u, v)``, computing and caching it on demand.
+
+        Returns the absent entry when ``v`` is outside the window or the
+        labels differ.
+        """
+        if not self.graph.has_vertex(v):
+            return _ABSENT
+        if self.query.label(u) != self.graph.label(v):
+            return _ABSENT
+        key = (u, v)
+        cached = self._entries.get(key)
+        if cached is None:
+            cached = self._compute(u, v)
+            self._entries[key] = cached
+            self._size += self._entry_cost[u]
+        return cached
+
+    def edge_passes(self, e: int, child_vertex_image: int, t: int) -> bool:
+        """Lemma IV.3 test: is query edge ``e`` TC-matchable (w.r.t. this
+        DAG) at a data edge with timestamp ``t`` whose child-side endpoint
+        maps to ``child_vertex_image``?"""
+        u2 = self.dag.edge_child[e]
+        ok, gt, lt = self.entry(u2, child_vertex_image)
+        if not ok:
+            return False
+        return t < gt.get(e, INF) and t > lt.get(e, -INF)
+
+    def size(self) -> int:
+        """Number of stored scalar values (memory accounting)."""
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def on_graph_change(self, v1: int, v2: int) -> Set[Tuple[int, int]]:
+        """Refresh entries after an edge between ``v1``/``v2`` changed.
+
+        Implements the propagation of Algorithm 3: recompute the
+        parent-side entries of every DAG edge the data edge can match,
+        then bubble changes to ancestors whose recurrence reads them.
+        Returns all ``(u, v)`` pairs whose entry changed.
+        """
+        changed: Set[Tuple[int, int]] = set()
+        for v in (v1, v2):
+            if not self.graph.has_vertex(v):
+                changed.update(self._purge_vertex(v))
+
+        queue: Deque[Tuple[int, int]] = deque()
+        queued: Set[Tuple[int, int]] = set()
+
+        def enqueue(u: int, v: int) -> None:
+            if (u, v) not in queued:
+                queued.add((u, v))
+                queue.append((u, v))
+
+        for e in range(self.query.num_edges):
+            up = self.dag.edge_parent[e]
+            uc = self.dag.edge_child[e]
+            for a, b in ((v1, v2), (v2, v1)):
+                if not self.graph.has_vertex(a):
+                    continue
+                if (self.query.label(up) == self.graph.label(a)
+                        and self.query.label(uc) == self.graph.label(b)):
+                    enqueue(up, a)
+
+        while queue:
+            u, v = queue.popleft()
+            queued.discard((u, v))
+            if not self.graph.has_vertex(v):
+                continue
+            old = self._entries.get((u, v))
+            new = self._compute(u, v)
+            if old is None:
+                self._size += self._entry_cost[u]
+            if old == new:
+                if old is None:
+                    self._entries[(u, v)] = new
+                continue
+            self._entries[(u, v)] = new
+            changed.add((u, v))
+            for up, _e in self.dag.parents_of[u]:
+                up_label = self.query.label(up)
+                for vp in self.graph.neighbors(v):
+                    if self.graph.label(vp) == up_label:
+                        enqueue(up, vp)
+        return changed
+
+    def _purge_vertex(self, v: int) -> Set[Tuple[int, int]]:
+        """Drop all cached entries at a vertex that left the window."""
+        gone = [key for key in self._entries if key[1] == v]
+        for key in gone:
+            del self._entries[key]
+            self._size -= self._entry_cost[key[0]]
+        return set(gone)
+
+    # ------------------------------------------------------------------
+    # The dynamic program (Equation (1))
+    # ------------------------------------------------------------------
+    def _compute(self, u: int, v: int) -> Entry:
+        """Evaluate Equation (1) for ``(u, v)`` from the children entries."""
+        query, dag, graph = self.query, self.dag, self.graph
+        if query.label(u) != graph.label(v):
+            return _ABSENT
+        rel_gt = dag.rel_gt[u]
+        rel_lt = dag.rel_lt[u]
+        gt: Dict[int, float] = {e: INF for e in rel_gt}
+        lt: Dict[int, float] = {e: -INF for e in rel_lt}
+        ok = True
+        for uc, eps in dag.children_of[u]:
+            uc_label = query.label(uc)
+            eps_u = query.edges[eps].u
+            child_found = False
+            best_gt: Dict[int, float] = {e: -INF for e in rel_gt}
+            best_lt: Dict[int, float] = {e: INF for e in rel_lt}
+            for vc in graph.neighbors(v):
+                if graph.label(vc) != uc_label:
+                    continue
+                # Direction / edge-label aware parallel-edge candidates
+                # for the DAG edge (u -> uc) with u -> v, uc -> vc.
+                a, b = (v, vc) if u == eps_u else (vc, v)
+                ts = candidate_timestamps(query, graph, eps, a, b)
+                if not ts:
+                    continue
+                c_ok, c_gt, c_lt = self.entry(uc, vc)
+                if not c_ok:
+                    continue
+                child_found = True
+                t_max, t_min = ts[-1], ts[0]
+                for e in rel_gt:
+                    base = c_gt.get(e, INF)
+                    val = min(t_max, base) if query.precedes(e, eps) else base
+                    if val > best_gt[e]:
+                        best_gt[e] = val
+                for e in rel_lt:
+                    base = c_lt.get(e, -INF)
+                    val = max(t_min, base) if query.precedes(eps, e) else base
+                    if val < best_lt[e]:
+                        best_lt[e] = val
+            if not child_found:
+                return _ABSENT
+            for e in rel_gt:
+                if best_gt[e] < gt[e]:
+                    gt[e] = best_gt[e]
+            for e in rel_lt:
+                if best_lt[e] > lt[e]:
+                    lt[e] = best_lt[e]
+        return (ok, gt, lt)

@@ -1,0 +1,9 @@
+"""Synthetic stand-ins for the paper's six datasets (Table III)."""
+
+from repro.datasets.generators import (
+    DATASET_SPECS, DatasetSpec, GeneratedStream, generate_stream,
+    dataset_names,
+)
+
+__all__ = ["DATASET_SPECS", "DatasetSpec", "GeneratedStream",
+           "generate_stream", "dataset_names"]

@@ -1,0 +1,319 @@
+"""Temporal multigraph with parallel edges (directed or undirected).
+
+The data graph of the paper (Definition II.1) is an undirected,
+vertex-labeled graph whose edges carry natural-number timestamps.  Two
+vertices may be connected by many parallel edges, each with its own
+timestamp; an edge is therefore identified by the triple ``(u, v, t)``.
+
+Timestamps of parallel edges between a fixed pair of vertices arrive in
+non-decreasing order when the graph is driven by a stream, but this class
+does not assume that: insertion keeps each parallel-edge list sorted.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Edge:
+    """An edge of a temporal graph: endpoints plus timestamp.
+
+    For undirected graphs, construct edges with :meth:`make`, which
+    normalizes the endpoint order (``u <= v``) so the same physical edge
+    always compares and hashes equal.  For directed graphs, construct
+    with :meth:`make_directed`: the endpoints are kept as given and
+    ``u`` is the source, ``v`` the destination.
+    """
+
+    u: int
+    v: int
+    t: int
+
+    @staticmethod
+    def make(u: int, v: int, t: int) -> "Edge":
+        """Create an undirected edge with normalized endpoint order."""
+        if u > v:
+            u, v = v, u
+        return Edge(u, v, t)
+
+    @staticmethod
+    def make_directed(src: int, dst: int, t: int) -> "Edge":
+        """Create a directed edge ``src -> dst`` (no normalization)."""
+        return Edge(src, dst, t)
+
+    def other(self, endpoint: int) -> int:
+        """Return the endpoint opposite to ``endpoint``."""
+        if endpoint == self.u:
+            return self.v
+        if endpoint == self.v:
+            return self.u
+        raise ValueError(f"vertex {endpoint} is not an endpoint of {self}")
+
+    def endpoints(self) -> Tuple[int, int]:
+        """Return the two endpoints as a tuple."""
+        return (self.u, self.v)
+
+
+class TemporalGraph:
+    """A vertex-labeled temporal multigraph with timestamped edges.
+
+    Vertices are integers; labels are arbitrary hashable values supplied by
+    a labeling function or mapping at construction time.  Vertices exist in
+    the graph only while they have at least one incident edge, matching the
+    sliding-window semantics of the streaming problem: when all edges of a
+    vertex expire the vertex effectively leaves the window.
+
+    The adjacency structure is ``_adj[v][w] -> sorted list of timestamps``,
+    which supports the operations the matching algorithms need:
+
+    * chronological enumeration of the parallel edges between two vertices,
+    * O(log k) insertion/removal of a parallel edge (k = multiplicity),
+    * counting parallel edges within a timestamp range.
+
+    Two optional extensions (Section II of the paper notes both):
+
+    * ``directed=True`` — edges are interpreted as ``Edge.u -> Edge.v``
+      (build them with :meth:`Edge.make_directed`).  ``_adj`` then keeps
+      out-edges and a mirror ``_radj`` keeps in-edges, so that
+      :meth:`neighbors` still iterates all adjacent vertices while
+      :meth:`timestamps_between`/:meth:`edges_between` become
+      direction-sensitive (``u -> v`` only).
+    * per-edge labels — pass ``label=`` to :meth:`insert_edge` and read
+      back with :meth:`edge_label`.
+    """
+
+    def __init__(self, labels: Optional[Dict[int, object]] = None,
+                 label_fn=None, directed: bool = False):
+        if labels is not None and label_fn is not None:
+            raise ValueError("pass either labels or label_fn, not both")
+        self._labels = dict(labels) if labels is not None else None
+        self._label_fn = label_fn
+        self.directed = directed
+        self._adj: Dict[int, Dict[int, List[int]]] = {}
+        self._radj: Dict[int, Dict[int, List[int]]] = {}
+        self._edge_labels: Dict[Edge, object] = {}
+        # Per-(pair, label) timestamp lists so label-filtered candidate
+        # enumeration needs no per-edge object construction.
+        self._labeled: Dict[Tuple[int, int], Dict[object, List[int]]] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Labels
+    # ------------------------------------------------------------------
+    def label(self, v: int) -> object:
+        """Return the label of vertex ``v``.
+
+        Labels must be defined for every vertex that ever appears; a
+        missing label is a usage error and raises ``KeyError``.
+        """
+        if self._labels is not None:
+            return self._labels[v]
+        if self._label_fn is not None:
+            return self._label_fn(v)
+        raise KeyError(f"no labeling information for vertex {v}")
+
+    def set_label(self, v: int, label: object) -> None:
+        """Assign a label to vertex ``v`` (dict-backed graphs only)."""
+        if self._labels is None:
+            self._labels = {}
+            if self._label_fn is not None:
+                raise ValueError("cannot set labels on a label_fn graph")
+        self._labels[v] = label
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert_edge(self, edge: Edge, label: object = None) -> None:
+        """Insert ``edge``; parallel duplicates (same u, v, t) are
+        rejected.  ``label`` optionally attaches an edge label."""
+        u, v, t = edge.u, edge.v, edge.t
+        if not self.directed and u > v:
+            raise ValueError(
+                f"undirected edges must be normalized (Edge.make): {edge}")
+        slot_uv = self._adj.setdefault(u, {}).setdefault(v, [])
+        idx = bisect_left(slot_uv, t)
+        if idx < len(slot_uv) and slot_uv[idx] == t:
+            raise ValueError(f"duplicate edge {edge}")
+        slot_uv.insert(idx, t)
+        mirror = self._radj if self.directed else self._adj
+        if self.directed or u != v:
+            insort(mirror.setdefault(v, {}).setdefault(u, []), t)
+        if label is not None:
+            self._edge_labels[edge] = label
+            insort(self._labeled.setdefault((u, v), {})
+                   .setdefault(label, []), t)
+        self._num_edges += 1
+
+    def remove_edge(self, edge: Edge) -> None:
+        """Remove ``edge``; raises ``KeyError`` if absent."""
+        u, v, t = edge.u, edge.v, edge.t
+        self._remove_half(self._adj, u, v, t)
+        mirror = self._radj if self.directed else self._adj
+        if self.directed or u != v:
+            self._remove_half(mirror, v, u, t)
+        label = self._edge_labels.pop(edge, None)
+        if label is not None:
+            slot = self._labeled[(u, v)][label]
+            slot.pop(bisect_left(slot, t))
+            if not slot:
+                del self._labeled[(u, v)][label]
+                if not self._labeled[(u, v)]:
+                    del self._labeled[(u, v)]
+        self._num_edges -= 1
+
+    @staticmethod
+    def _remove_half(adj, a: int, b: int, t: int) -> None:
+        try:
+            slot = adj[a][b]
+        except KeyError:
+            raise KeyError(f"edge ({a},{b},{t}) not in graph") from None
+        idx = bisect_left(slot, t)
+        if idx >= len(slot) or slot[idx] != t:
+            raise KeyError(f"edge ({a},{b},{t}) not in graph")
+        slot.pop(idx)
+        if not slot:
+            del adj[a][b]
+            if not adj[a]:
+                del adj[a]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def has_vertex(self, v: int) -> bool:
+        """True if ``v`` currently has at least one incident edge."""
+        return v in self._adj or v in self._radj
+
+    def has_edge(self, edge: Edge) -> bool:
+        """True if the exact edge (endpoints and timestamp) is present."""
+        slot = self._adj.get(edge.u, {}).get(edge.v)
+        if not slot:
+            return False
+        idx = bisect_left(slot, edge.t)
+        return idx < len(slot) and slot[idx] == edge.t
+
+    def vertices(self) -> Iterable[int]:
+        """Iterate over vertices currently present (with incident edges)."""
+        if not self.directed:
+            return self._adj.keys()
+        return self._adj.keys() | self._radj.keys()
+
+    def num_vertices(self) -> int:
+        """Number of vertices currently present."""
+        if not self.directed:
+            return len(self._adj)
+        return len(self._adj.keys() | self._radj.keys())
+
+    def num_edges(self) -> int:
+        """Number of edges currently present (parallel edges counted)."""
+        return self._num_edges
+
+    def degree(self, v: int) -> int:
+        """Number of incident edges of ``v`` counting multiplicity
+        (out- plus in-degree for directed graphs)."""
+        total = sum(len(ts) for ts in self._adj.get(v, {}).values())
+        if self.directed:
+            total += sum(len(ts) for ts in self._radj.get(v, {}).values())
+        return total
+
+    def neighbor_count(self, v: int) -> int:
+        """Number of distinct neighbors of ``v`` (any direction)."""
+        if not self.directed:
+            return len(self._adj.get(v, {}))
+        return len(self._adj.get(v, {}).keys()
+                   | self._radj.get(v, {}).keys())
+
+    def neighbors(self, v: int) -> Iterable[int]:
+        """Iterate over the distinct neighbors of ``v``.
+
+        For directed graphs this is the union of out- and in-neighbors:
+        adjacency-driven exploration must see both sides.
+        """
+        if not self.directed:
+            return self._adj.get(v, {}).keys()
+        return self._adj.get(v, {}).keys() | self._radj.get(v, {}).keys()
+
+    def out_neighbors(self, v: int) -> Iterable[int]:
+        """Distinct successors of ``v`` (equals neighbors when
+        undirected)."""
+        return self._adj.get(v, {}).keys()
+
+    def in_neighbors(self, v: int) -> Iterable[int]:
+        """Distinct predecessors of ``v`` (equals neighbors when
+        undirected)."""
+        if not self.directed:
+            return self._adj.get(v, {}).keys()
+        return self._radj.get(v, {}).keys()
+
+    def neighbor_items(self, v: int) -> Iterable[Tuple[int, List[int]]]:
+        """Iterate ``(out-neighbor, sorted timestamps)`` pairs for ``v``.
+
+        The timestamp lists are internal state: callers must not mutate
+        them.
+        """
+        return self._adj.get(v, {}).items()
+
+    def edge_label(self, edge: Edge) -> object:
+        """The label attached to ``edge`` at insertion, or None."""
+        return self._edge_labels.get(edge)
+
+    def timestamps_with_label(self, u: int, v: int,
+                              label: object) -> List[int]:
+        """Sorted timestamps of the ``u``-``v`` parallel edges carrying
+        ``label`` (direction-sensitive when directed).  Internal list;
+        do not mutate."""
+        if not self.directed and u > v:
+            u, v = v, u
+        return self._labeled.get((u, v), {}).get(label, [])
+
+    def timestamps_between(self, u: int, v: int) -> List[int]:
+        """Sorted timestamps of the parallel edges between ``u`` and ``v``
+        (direction-sensitive ``u -> v`` when the graph is directed).
+
+        Returns the internal list (callers must not mutate it); an empty
+        list if the vertices are not adjacent.
+        """
+        return self._adj.get(u, {}).get(v, [])
+
+    def edges_between(self, u: int, v: int) -> List[Edge]:
+        """All parallel edges between ``u`` and ``v`` in chronological
+        order (``u -> v`` only when directed)."""
+        if self.directed:
+            return [Edge.make_directed(u, v, t)
+                    for t in self.timestamps_between(u, v)]
+        return [Edge.make(u, v, t) for t in self.timestamps_between(u, v)]
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges (each edge exactly once)."""
+        for u, nbrs in self._adj.items():
+            for v, ts in nbrs.items():
+                if self.directed or u <= v:
+                    for t in ts:
+                        yield Edge(u, v, t)
+
+    def count_between_after(self, u: int, v: int, t: int) -> int:
+        """Number of parallel (u, v) edges with timestamp strictly > t."""
+        slot = self.timestamps_between(u, v)
+        return len(slot) - bisect_left(slot, t + 1)
+
+    def count_between_before(self, u: int, v: int, t: int) -> int:
+        """Number of parallel (u, v) edges with timestamp strictly < t."""
+        slot = self.timestamps_between(u, v)
+        return bisect_left(slot, t)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def copy(self) -> "TemporalGraph":
+        """Deep copy of the adjacency structure (labels shared)."""
+        clone = TemporalGraph(labels=self._labels, label_fn=self._label_fn,
+                              directed=self.directed)
+        for edge in self.edges():
+            clone.insert_edge(edge, label=self._edge_labels.get(edge))
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TemporalGraph(|V|={self.num_vertices()}, "
+                f"|E|={self.num_edges()})")

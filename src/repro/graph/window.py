@@ -1,0 +1,84 @@
+"""Sliding time-window bookkeeping for a streaming temporal graph.
+
+The paper models the temporal data graph as a streaming graph with a time
+window ``delta``: at current time ``t`` only the edges with timestamp in
+``(t - delta, t]`` are alive (Section II, Example II.2).  ``WindowBuffer``
+owns a :class:`~repro.graph.temporal_graph.TemporalGraph` restricted to the
+live window and applies arrivals/expirations to it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Tuple
+
+from repro.graph.temporal_graph import Edge, TemporalGraph
+
+
+class WindowBuffer:
+    """Maintains the within-window subgraph of a temporal edge stream.
+
+    Edges must be fed in non-decreasing timestamp order via
+    :meth:`advance_to` / :meth:`insert`.  The buffer keeps a FIFO of live
+    edges (arrivals are chronological, so expirations are too) and evicts
+    edges whose timestamp is ``<= now - delta``.
+    """
+
+    def __init__(self, delta: int,
+                 labels=None, label_fn=None):
+        if delta <= 0:
+            raise ValueError("window size delta must be positive")
+        self.delta = delta
+        self.graph = TemporalGraph(labels=labels, label_fn=label_fn)
+        self._live: Deque[Edge] = deque()
+        self._now: Optional[int] = None
+
+    @property
+    def now(self) -> Optional[int]:
+        """The most recent timestamp seen, or None before any edge."""
+        return self._now
+
+    def insert(self, edge: Edge) -> List[Edge]:
+        """Insert an arriving edge, evicting expired edges first.
+
+        Returns the list of edges that expired as a consequence of time
+        advancing to ``edge.t`` (i.e. edges with timestamp
+        ``<= edge.t - delta``), in expiration order.
+        """
+        if self._now is not None and edge.t < self._now:
+            raise ValueError(
+                f"out-of-order arrival: t={edge.t} after now={self._now}")
+        expired = self.advance_to(edge.t)
+        self.graph.insert_edge(edge)
+        self._live.append(edge)
+        return expired
+
+    def advance_to(self, t: int) -> List[Edge]:
+        """Advance the clock to ``t``, evicting expired edges.
+
+        Returns the evicted edges in expiration order.
+        """
+        if self._now is None or t > self._now:
+            self._now = t
+        expired: List[Edge] = []
+        cutoff = self._now - self.delta
+        while self._live and self._live[0].t <= cutoff:
+            edge = self._live.popleft()
+            self.graph.remove_edge(edge)
+            expired.append(edge)
+        return expired
+
+    def drain(self) -> List[Edge]:
+        """Expire every remaining live edge (end of stream)."""
+        expired = list(self._live)
+        for edge in expired:
+            self.graph.remove_edge(edge)
+        self._live.clear()
+        return expired
+
+    def live_edges(self) -> Iterable[Edge]:
+        """Iterate over currently live edges in arrival order."""
+        return iter(self._live)
+
+    def __len__(self) -> int:
+        return len(self._live)

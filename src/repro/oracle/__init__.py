@@ -1,0 +1,6 @@
+"""Brute-force ground truth for time-constrained subgraph matching."""
+
+from repro.oracle.enumerate import enumerate_embeddings
+from repro.oracle.engine import OracleEngine
+
+__all__ = ["enumerate_embeddings", "OracleEngine"]

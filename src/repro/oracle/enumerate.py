@@ -1,0 +1,125 @@
+"""Exhaustive enumeration of time-constrained embeddings.
+
+This is the correctness oracle: a plain backtracking enumerator with no
+filtering or pruning beyond label/degree feasibility and the definitional
+constraints.  It is exponential and intended only for small instances in
+tests; the optimized engines are validated against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.graph.temporal_graph import Edge, TemporalGraph
+from repro.query.matching import candidate_images, candidate_timestamps
+from repro.query.temporal_query import QueryEdge, TemporalQuery
+from repro.streaming.match import Match
+
+
+def enumerate_embeddings(query: TemporalQuery, graph: TemporalGraph,
+                         must_contain: Optional[Edge] = None
+                         ) -> Iterator[Match]:
+    """Yield every time-constrained embedding of ``query`` in ``graph``.
+
+    If ``must_contain`` is given, only embeddings whose edge image includes
+    that exact data edge are produced.  Embeddings are yielded in a
+    deterministic order; each distinct embedding exactly once.
+    """
+    order = _vertex_order(query)
+    vmap: Dict[int, int] = {}
+    emap: Dict[int, Edge] = {}
+    used_vertices: Set[int] = set()
+    used_edges: Set[Edge] = set()
+
+    def edge_candidates(qe: QueryEdge) -> List[Edge]:
+        v1, v2 = vmap[qe.u], vmap[qe.v]
+        out = []
+        for cand in candidate_images(query, graph, qe.index, v1, v2):
+            if cand in used_edges:
+                continue
+            if _order_ok(query, emap, qe.index, cand.t):
+                out.append(cand)
+        return out
+
+    def assign_edges(pending: List[QueryEdge], depth: int) -> Iterator[Match]:
+        if not pending:
+            yield from extend_vertices(depth)
+            return
+        qe = pending[0]
+        rest = pending[1:]
+        for cand in edge_candidates(qe):
+            emap[qe.index] = cand
+            used_edges.add(cand)
+            yield from assign_edges(rest, depth)
+            used_edges.discard(cand)
+            del emap[qe.index]
+
+    def extend_vertices(depth: int) -> Iterator[Match]:
+        if depth == len(order):
+            if must_contain is not None and must_contain not in emap.values():
+                return
+            yield Match.from_dicts(query, vmap, emap)
+            return
+        u = order[depth]
+        label = query.label(u)
+        for v in _vertex_candidates(query, graph, vmap, u, label):
+            if v in used_vertices:
+                continue
+            vmap[u] = v
+            used_vertices.add(v)
+            newly_closed = [qe for qe in query.incident_edges(u)
+                            if qe.other(u) in vmap and qe.index not in emap]
+            yield from assign_edges(newly_closed, depth + 1)
+            used_vertices.discard(v)
+            del vmap[u]
+
+    yield from extend_vertices(0)
+
+
+def _order_ok(query: TemporalQuery, emap: Dict[int, Edge],
+              edge_index: int, t: int) -> bool:
+    """Check the temporal order of ``edge_index`` against mapped edges."""
+    for other, image in emap.items():
+        if query.precedes(other, edge_index) and not image.t < t:
+            return False
+        if query.precedes(edge_index, other) and not t < image.t:
+            return False
+    return True
+
+
+def _vertex_candidates(query: TemporalQuery, graph: TemporalGraph,
+                       vmap: Dict[int, int], u: int, label: object):
+    """Data-vertex candidates for ``u``: label match, adjacency (with
+    direction and edge labels) respected."""
+    anchor_edges = [qe for qe in query.incident_edges(u)
+                    if qe.other(u) in vmap]
+    if anchor_edges:
+        pool = graph.neighbors(vmap[anchor_edges[0].other(u)])
+    else:
+        pool = graph.vertices()
+
+    def supported(qe: QueryEdge, v: int) -> bool:
+        w = vmap[qe.other(u)]
+        a, b = (v, w) if u == qe.u else (w, v)
+        return bool(candidate_timestamps(query, graph, qe.index, a, b))
+
+    for v in pool:
+        if graph.label(v) != label:
+            continue
+        if all(supported(qe, v) for qe in anchor_edges):
+            yield v
+
+
+def _vertex_order(query: TemporalQuery) -> List[int]:
+    """A connected vertex order (BFS from vertex 0)."""
+    order = [0]
+    seen = {0}
+    queue = [0]
+    while queue:
+        u = queue.pop(0)
+        for w in query.neighbors(u):
+            if w not in seen:
+                seen.add(w)
+                order.append(w)
+                queue.append(w)
+    return order

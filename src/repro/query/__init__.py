@@ -1,0 +1,6 @@
+"""Temporal query graphs with a strict partial order on edges."""
+
+from repro.query.partial_order import PartialOrder, PartialOrderError
+from repro.query.temporal_query import QueryEdge, TemporalQuery
+
+__all__ = ["PartialOrder", "PartialOrderError", "QueryEdge", "TemporalQuery"]

@@ -1,0 +1,125 @@
+"""Strict partial orders over a finite index set.
+
+The temporal order of a query graph (Definition II.2) is a strict partial
+order ``<`` on the edge set.  This module stores such an order over edge
+indices ``0..n-1``, closes it transitively, validates irreflexivity /
+asymmetry, and answers the relationship queries the matching algorithms
+need in O(1).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+
+class PartialOrderError(ValueError):
+    """Raised when the supplied relation is not a strict partial order."""
+
+
+class PartialOrder:
+    """A strict partial order on ``{0, ..., n - 1}``.
+
+    The constructor takes the generating pairs ``(i, j)`` meaning
+    ``i < j`` and computes the transitive closure.  A cycle (which would
+    violate irreflexivity after closure) raises :class:`PartialOrderError`.
+    """
+
+    def __init__(self, n: int, pairs: Iterable[Tuple[int, int]] = ()):
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self.n = n
+        successors: List[Set[int]] = [set() for _ in range(n)]
+        for i, j in pairs:
+            if not (0 <= i < n and 0 <= j < n):
+                raise PartialOrderError(f"pair ({i}, {j}) out of range 0..{n-1}")
+            if i == j:
+                raise PartialOrderError(f"reflexive pair ({i}, {i})")
+            successors[i].add(j)
+        self._succ = _transitive_closure(successors)
+        for i in range(n):
+            if i in self._succ[i]:
+                raise PartialOrderError(f"cycle through element {i}")
+        self._pred: List[Set[int]] = [set() for _ in range(n)]
+        for i in range(n):
+            for j in self._succ[i]:
+                self._pred[j].add(i)
+        self._succ_frozen: List[FrozenSet[int]] = [
+            frozenset(s) for s in self._succ]
+        self._pred_frozen: List[FrozenSet[int]] = [
+            frozenset(p) for p in self._pred]
+        self._related: List[FrozenSet[int]] = [
+            self._succ_frozen[i] | self._pred_frozen[i] for i in range(n)]
+
+    # ------------------------------------------------------------------
+    # Relationship queries
+    # ------------------------------------------------------------------
+    def precedes(self, i: int, j: int) -> bool:
+        """True iff ``i < j`` in the closed order."""
+        return j in self._succ[i]
+
+    def related(self, i: int, j: int) -> bool:
+        """True iff ``i`` and ``j`` are temporally related (either way)."""
+        return j in self._related[i]
+
+    def successors(self, i: int) -> FrozenSet[int]:
+        """All ``j`` with ``i < j``."""
+        return self._succ_frozen[i]
+
+    def predecessors(self, i: int) -> FrozenSet[int]:
+        """All ``j`` with ``j < i``."""
+        return self._pred_frozen[i]
+
+    def related_to(self, i: int) -> FrozenSet[int]:
+        """All ``j`` temporally related to ``i``."""
+        return self._related[i]
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        """All ordered pairs ``(i, j)`` with ``i < j``, sorted."""
+        return sorted((i, j) for i in range(self.n) for j in self._succ[i])
+
+    def num_related_pairs(self) -> int:
+        """Number of unordered temporally related pairs."""
+        return sum(len(s) for s in self._succ)
+
+    def density(self) -> float:
+        """Fraction of unordered element pairs that are related.
+
+        This is the paper's query-order *density* (Section VI, Queries):
+        number of related pairs divided by ``n * (n - 1) / 2``.
+        """
+        if self.n < 2:
+            return 0.0
+        return self.num_related_pairs() / (self.n * (self.n - 1) / 2)
+
+    def is_consistent(self, timestamps: Sequence[int]) -> bool:
+        """Check ``i < j  =>  timestamps[i] < timestamps[j]`` for all pairs."""
+        for i in range(self.n):
+            t_i = timestamps[i]
+            for j in self._succ[i]:
+                if not t_i < timestamps[j]:
+                    return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PartialOrder):
+            return NotImplemented
+        return self.n == other.n and self._succ == other._succ
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PartialOrder(n={self.n}, pairs={self.pairs()})"
+
+
+def _transitive_closure(successors: List[Set[int]]) -> List[Set[int]]:
+    """Transitive closure by DFS from each node (small n expected)."""
+    n = len(successors)
+    closed: List[Set[int]] = [set() for _ in range(n)]
+    for start in range(n):
+        stack = list(successors[start])
+        seen = closed[start]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(successors[node] - seen)
+    return closed

@@ -1,0 +1,168 @@
+"""Temporal query graphs (Definition II.2).
+
+A temporal query graph is a connected, simple, undirected, vertex-labeled
+graph together with a strict partial order on its edge set.  Query vertices
+and edges are referred to by dense integer indices so the matching engines
+can use array-backed state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.query.partial_order import PartialOrder
+
+
+@dataclass(frozen=True)
+class QueryEdge:
+    """A query edge: its index and endpoint vertex indices (u < v)."""
+
+    index: int
+    u: int
+    v: int
+
+    def other(self, endpoint: int) -> int:
+        """Return the endpoint opposite to ``endpoint``."""
+        if endpoint == self.u:
+            return self.v
+        if endpoint == self.v:
+            return self.u
+        raise ValueError(f"vertex {endpoint} is not an endpoint of {self}")
+
+    def endpoints(self) -> Tuple[int, int]:
+        """Return the two endpoints as a tuple."""
+        return (self.u, self.v)
+
+
+class TemporalQuery:
+    """A temporal query graph ``q = (V, E, L, <)``.
+
+    Parameters
+    ----------
+    labels:
+        Sequence of vertex labels; vertex ``i`` has label ``labels[i]``.
+    edges:
+        Sequence of ``(u, v)`` vertex-index pairs.  The graph must be
+        simple (no self-loops, no duplicate edges; for directed queries
+        a pair of anti-parallel edges counts as two distinct edges).
+    order_pairs:
+        Generating pairs ``(i, j)`` of edge indices meaning edge ``i``
+        temporally precedes edge ``j``; transitively closed internally.
+    directed:
+        When True, edge ``(u, v)`` means ``u -> v`` and images must
+        preserve the direction (Section II extension).
+    edge_labels:
+        Optional per-edge labels (sequence aligned with ``edges``; None
+        entries mean "unlabeled, matches any data edge").
+    """
+
+    def __init__(self, labels: Sequence[object],
+                 edges: Sequence[Tuple[int, int]],
+                 order_pairs: Iterable[Tuple[int, int]] = (),
+                 directed: bool = False,
+                 edge_labels: Optional[Sequence[object]] = None):
+        self.labels: Tuple[object, ...] = tuple(labels)
+        self.num_vertices = len(self.labels)
+        self.directed = directed
+        seen_pairs = set()
+        edge_list: List[QueryEdge] = []
+        for idx, (u, v) in enumerate(edges):
+            if not (0 <= u < self.num_vertices and 0 <= v < self.num_vertices):
+                raise ValueError(f"edge ({u}, {v}) references unknown vertex")
+            if u == v:
+                raise ValueError(f"self-loop ({u}, {v}) not allowed")
+            key = (u, v) if directed else (min(u, v), max(u, v))
+            if key in seen_pairs:
+                raise ValueError(f"duplicate edge {key}: query must be simple")
+            seen_pairs.add(key)
+            edge_list.append(QueryEdge(idx, key[0], key[1]))
+        self.edges: Tuple[QueryEdge, ...] = tuple(edge_list)
+        self.num_edges = len(self.edges)
+        if edge_labels is None:
+            self.edge_labels: Tuple[object, ...] = (None,) * self.num_edges
+        else:
+            if len(edge_labels) != self.num_edges:
+                raise ValueError("edge_labels must align with edges")
+            self.edge_labels = tuple(edge_labels)
+        self.order = PartialOrder(self.num_edges, order_pairs)
+
+        self._adjacent: List[List[QueryEdge]] = [
+            [] for _ in range(self.num_vertices)]
+        for edge in self.edges:
+            self._adjacent[edge.u].append(edge)
+            self._adjacent[edge.v].append(edge)
+        self._edge_by_pair: Dict[Tuple[int, int], QueryEdge] = {
+            (e.u, e.v): e for e in self.edges}
+        self._check_connected()
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def label(self, u: int) -> object:
+        """Label of query vertex ``u``."""
+        return self.labels[u]
+
+    def incident_edges(self, u: int) -> List[QueryEdge]:
+        """Edges incident to vertex ``u``."""
+        return self._adjacent[u]
+
+    def degree(self, u: int) -> int:
+        """Degree of vertex ``u``."""
+        return len(self._adjacent[u])
+
+    def neighbors(self, u: int) -> List[int]:
+        """Distinct neighbor vertices of ``u``."""
+        return [e.other(u) for e in self._adjacent[u]]
+
+    def edge_between(self, u: int, v: int) -> Optional[QueryEdge]:
+        """The edge joining ``u`` and ``v``, or None.  For directed
+        queries the order matters (``u -> v``)."""
+        if not self.directed and u > v:
+            u, v = v, u
+        return self._edge_by_pair.get((u, v))
+
+    def edge_label(self, e: int) -> object:
+        """The label of query edge ``e`` (None = unlabeled)."""
+        return self.edge_labels[e]
+
+    # ------------------------------------------------------------------
+    # Temporal-order helpers
+    # ------------------------------------------------------------------
+    def precedes(self, i: int, j: int) -> bool:
+        """True iff edge ``i`` temporally precedes edge ``j``."""
+        return self.order.precedes(i, j)
+
+    def related(self, i: int, j: int) -> bool:
+        """True iff edges ``i`` and ``j`` are temporally related."""
+        return self.order.related(i, j)
+
+    def related_to(self, i: int) -> FrozenSet[int]:
+        """Indices of edges temporally related to edge ``i``."""
+        return self.order.related_to(i)
+
+    def density(self) -> float:
+        """Temporal-order density of this query (see PartialOrder.density)."""
+        return self.order.density()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_connected(self) -> None:
+        if self.num_vertices == 0:
+            raise ValueError("query graph must be non-empty")
+        seen = {0}
+        stack = [0]
+        while stack:
+            u = stack.pop()
+            for edge in self._adjacent[u]:
+                w = edge.other(u)
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        if len(seen) != self.num_vertices:
+            raise ValueError("query graph must be connected")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TemporalQuery(|V|={self.num_vertices}, "
+                f"|E|={self.num_edges}, density={self.density():.2f})")

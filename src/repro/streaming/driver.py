@@ -1,0 +1,69 @@
+"""Stream driver: feeds an event list to an engine and collects results.
+
+This is the outer loop of Algorithm 1 (lines 8-20): events are processed
+chronologically; arrivals report occurring embeddings, expirations report
+expiring embeddings.  The driver optionally enforces a wall-clock budget so
+the benchmark harness can implement the paper's per-query time limit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from repro.graph.temporal_graph import Edge
+from repro.streaming.engine import MatchEngine
+from repro.streaming.events import Event, build_event_list
+from repro.streaming.match import Match
+
+
+@dataclass
+class StreamResult:
+    """Outcome of driving one engine over one stream."""
+
+    occurred: List[Tuple[Event, Match]] = field(default_factory=list)
+    expired: List[Tuple[Event, Match]] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    timed_out: bool = False
+    events_processed: int = 0
+
+    def occurrence_multiset(self) -> List[Match]:
+        """All occurring matches, for cross-engine comparisons."""
+        return sorted(m for _, m in self.occurred)
+
+    def expiration_multiset(self) -> List[Match]:
+        """All expiring matches, for cross-engine comparisons."""
+        return sorted(m for _, m in self.expired)
+
+
+class StreamDriver:
+    """Runs a matching engine over a chronological event list."""
+
+    def __init__(self, engine: MatchEngine,
+                 time_limit: Optional[float] = None):
+        self.engine = engine
+        self.time_limit = time_limit
+
+    def run_edges(self, edges: Iterable[Edge], delta: int) -> StreamResult:
+        """Build the event list for ``edges`` with window ``delta`` and run."""
+        return self.run_events(build_event_list(edges, delta))
+
+    def run_events(self, events: Iterable[Event]) -> StreamResult:
+        """Process ``events`` in order, collecting the reported deltas."""
+        result = StreamResult()
+        start = time.perf_counter()
+        for event in events:
+            if self.time_limit is not None:
+                if time.perf_counter() - start > self.time_limit:
+                    result.timed_out = True
+                    break
+            if event.is_arrival:
+                matches = self.engine.on_edge_insert(event.edge)
+                result.occurred.extend((event, m) for m in matches)
+            else:
+                matches = self.engine.on_edge_expire(event.edge)
+                result.expired.extend((event, m) for m in matches)
+            result.events_processed += 1
+        result.elapsed_seconds = time.perf_counter() - start
+        return result

@@ -1,0 +1,74 @@
+"""The engine interface shared by TCM and all baselines.
+
+Every matching engine processes one edge event at a time and reports the
+*delta* of time-constrained embeddings: embeddings that occur on an arrival
+and embeddings that expire on an expiration.  Engines own their copy of the
+within-window data graph; the driver only feeds events.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.graph.temporal_graph import Edge
+from repro.query.temporal_query import TemporalQuery
+from repro.streaming.match import Match
+
+
+@dataclass
+class EngineStats:
+    """Counters every engine keeps for the evaluation harness.
+
+    ``backtrack_nodes`` counts search-tree node expansions; the structure
+    sizes feed the memory comparison (Figure 10) and the filtering-power
+    table (Table V).
+    """
+
+    matches_emitted: int = 0
+    backtrack_nodes: int = 0
+    candidates_pruned: int = 0
+    peak_structure_entries: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def note_structure_size(self, entries: int) -> None:
+        """Record a high-water mark for stored structure entries."""
+        if entries > self.peak_structure_entries:
+            self.peak_structure_entries = entries
+
+
+class MatchEngine(abc.ABC):
+    """Abstract continuous-matching engine.
+
+    Subclasses implement :meth:`on_edge_insert` and :meth:`on_edge_expire`;
+    both return the list of time-constrained embeddings that occur/expire
+    because of the event (every returned match contains the event edge).
+    """
+
+    name = "abstract"
+
+    def __init__(self, query: TemporalQuery, labels: Dict[int, object],
+                 edge_label_fn: Optional[Callable[[Edge], object]] = None):
+        self.query = query
+        self.labels = labels
+        self.edge_label_fn = edge_label_fn
+        self.stats = EngineStats()
+
+    def _edge_label(self, edge: Edge) -> object:
+        """The stream-supplied label of a data edge (None = unlabeled)."""
+        if self.edge_label_fn is None:
+            return None
+        return self.edge_label_fn(edge)
+
+    @abc.abstractmethod
+    def on_edge_insert(self, edge: Edge) -> List[Match]:
+        """Process an arriving edge; return newly occurring embeddings."""
+
+    @abc.abstractmethod
+    def on_edge_expire(self, edge: Edge) -> List[Match]:
+        """Process an expiring edge; return embeddings that expire with it."""
+
+    def structure_entries(self) -> int:
+        """Current number of stored index-structure entries (memory proxy)."""
+        return 0

@@ -1,0 +1,56 @@
+"""Edge arrival/expiration events (Algorithm 1, lines 8-10).
+
+The paper drives the computation from an event list ``L`` containing, for
+every data edge ``e`` with timestamp ``t``, an arrival event ``(e, t, +)``
+and an expiration event ``(e, t + delta, -)``, processed in order of event
+time.  Ties are broken so that expirations at time ``t`` are handled before
+arrivals at time ``t``: an edge with timestamp ``t' <= t - delta`` is
+outside the window ``(t - delta, t]`` and so must be gone before the
+arrival at ``t`` is matched.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.graph.temporal_graph import Edge
+
+
+class EventKind(enum.Enum):
+    """Arrival (+) or expiration (-) of a data edge."""
+
+    ARRIVAL = "+"
+    EXPIRATION = "-"
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single stream event: an edge arriving or expiring at ``time``."""
+
+    edge: Edge
+    time: int
+    kind: EventKind
+
+    @property
+    def is_arrival(self) -> bool:
+        return self.kind is EventKind.ARRIVAL
+
+
+def build_event_list(edges: Iterable[Edge], delta: int) -> List[Event]:
+    """Build the chronologically sorted event list ``L`` for a window.
+
+    For each edge ``(u, v, t)`` two events are generated: arrival at ``t``
+    and expiration at ``t + delta``.  Events are sorted by time with
+    expirations before arrivals at equal times, and by edge timestamp as
+    the final tie-breaker so the order is deterministic.
+    """
+    if delta <= 0:
+        raise ValueError("window size delta must be positive")
+    events: List[Event] = []
+    for edge in edges:
+        events.append(Event(edge, edge.t, EventKind.ARRIVAL))
+        events.append(Event(edge, edge.t + delta, EventKind.EXPIRATION))
+    events.sort(key=lambda ev: (ev.time, ev.is_arrival, ev.edge))
+    return events

@@ -1,0 +1,7 @@
+"""Query workload generation (Section VI, 'Queries')."""
+
+from repro.workloads.queries import (
+    QueryInstance, make_query_set, random_walk_query,
+)
+
+__all__ = ["QueryInstance", "make_query_set", "random_walk_query"]

@@ -1,0 +1,163 @@
+"""Query generation by random walk plus density-targeted temporal orders.
+
+The paper generates query graphs by random-walking the data graph (so
+that at least one time-constrained embedding is guaranteed to exist) and
+derives the temporal order from a permutation of the walked edges: a
+pair ``e < e'`` is added when ``e`` precedes ``e'`` in the permutation
+*and* the walked timestamp of ``e`` is smaller.  Five orders per query
+shape are used, with densities 0, ~0.25, ~0.5, ~0.75 and 1.
+
+Density 1 (a total order) requires the permutation to be the timestamp
+order, so we use that permutation throughout and reach a target density
+by sampling generator pairs until the transitively closed order is dense
+enough.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.temporal_graph import Edge, TemporalGraph
+from repro.query.partial_order import PartialOrder
+from repro.query.temporal_query import TemporalQuery
+
+
+@dataclass(frozen=True)
+class QueryInstance:
+    """A generated query plus the walk metadata used to derive it."""
+
+    query: TemporalQuery
+    walked_edges: Tuple[Edge, ...]
+    target_density: float
+
+    @property
+    def size(self) -> int:
+        return self.query.num_edges
+
+    @property
+    def density(self) -> float:
+        return self.query.density()
+
+
+def random_walk_query(graph: TemporalGraph, size: int,
+                      rng: random.Random,
+                      density: float = 0.5,
+                      max_attempts: int = 200) -> Optional[QueryInstance]:
+    """Extract a ``size``-edge query from ``graph`` by random walk.
+
+    Returns None when the graph cannot support a walk of the requested
+    length (after ``max_attempts`` restarts).
+    """
+    vertices = list(graph.vertices())
+    if not vertices:
+        return None
+    for _ in range(max_attempts):
+        walked = _walk_once(graph, size, rng, vertices)
+        if walked is None:
+            continue
+        return _build_instance(graph, walked, density, rng)
+    return None
+
+
+def _walk_once(graph: TemporalGraph, size: int, rng: random.Random,
+               vertices: Sequence[int]) -> Optional[List[Edge]]:
+    current = rng.choice(vertices)
+    walked: List[Edge] = []
+    used_pairs = set()
+    visited = [current]
+    def usable_neighbors(vertex):
+        return [w for w in graph.neighbors(vertex)
+                if (min(vertex, w), max(vertex, w)) not in used_pairs]
+
+    for _ in range(size * 4):
+        if len(walked) == size:
+            break
+        neighbors = usable_neighbors(current)
+        if not neighbors:
+            # Restart the walk from a previously visited vertex to keep
+            # the query connected.
+            current = rng.choice(visited)
+            neighbors = usable_neighbors(current)
+            if not neighbors:
+                return None
+        nxt = rng.choice(neighbors)
+        # In a directed graph the adjacency can be in either direction;
+        # pick among the parallel edges of whichever directions exist.
+        pool = graph.edges_between(current, nxt)
+        if graph.directed:
+            pool = pool + graph.edges_between(nxt, current)
+        if not pool:
+            return None
+        walked.append(rng.choice(pool))
+        used_pairs.add((min(current, nxt), max(current, nxt)))
+        visited.append(nxt)
+        current = nxt
+    if len(walked) != size:
+        return None
+    return walked
+
+
+def _build_instance(graph: TemporalGraph, walked: List[Edge],
+                    density: float,
+                    rng: random.Random) -> QueryInstance:
+    """Relabel the walked subgraph as a query and attach an order."""
+    vertex_ids: Dict[int, int] = {}
+    for edge in walked:
+        for v in (edge.u, edge.v):
+            if v not in vertex_ids:
+                vertex_ids[v] = len(vertex_ids)
+    labels = [None] * len(vertex_ids)
+    for data_v, query_v in vertex_ids.items():
+        labels[query_v] = graph.label(data_v)
+    edges = [(vertex_ids[e.u], vertex_ids[e.v]) for e in walked]
+    pairs = _order_pairs([e.t for e in walked], density, rng)
+    edge_labels = None
+    if any(graph.edge_label(e) is not None for e in walked):
+        edge_labels = [graph.edge_label(e) for e in walked]
+    query = TemporalQuery(labels, edges, pairs, directed=graph.directed,
+                          edge_labels=edge_labels)
+    return QueryInstance(query=query, walked_edges=tuple(walked),
+                         target_density=density)
+
+
+def _order_pairs(timestamps: Sequence[int], density: float,
+                 rng: random.Random) -> List[Tuple[int, int]]:
+    """Generator pairs for a temporal order of roughly ``density``.
+
+    Candidate pairs are all ``(i, j)`` with ``t_i < t_j`` (with a
+    deterministic tie-break on the index so ties stay acyclic); they are
+    sampled in random order until the transitively closed density
+    reaches the target.
+    """
+    m = len(timestamps)
+    if m < 2 or density <= 0.0:
+        return []
+    candidates = [(i, j) for i in range(m) for j in range(m)
+                  if i != j and (timestamps[i], i) < (timestamps[j], j)]
+    if density >= 1.0:
+        return candidates
+    rng.shuffle(candidates)
+    chosen: List[Tuple[int, int]] = []
+    for pair in candidates:
+        chosen.append(pair)
+        order = PartialOrder(m, chosen)
+        if order.density() >= density:
+            break
+    return chosen
+
+
+def make_query_set(graph: TemporalGraph, size: int, count: int,
+                   density: float = 0.5,
+                   seed: int = 0) -> List[QueryInstance]:
+    """A reproducible set of ``count`` queries of the given size/density."""
+    rng = random.Random(seed)
+    out: List[QueryInstance] = []
+    attempts = 0
+    while len(out) < count and attempts < count * 50:
+        attempts += 1
+        instance = random_walk_query(graph, size, rng, density)
+        if instance is not None:
+            out.append(instance)
+    return out

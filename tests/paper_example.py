@@ -1,0 +1,93 @@
+"""The paper's running example (Figure 2) reconstructed from the text.
+
+Query graph q (Figure 2c), vertices u1..u5 (indices 0..4 here):
+
+    eps1 = (u1, u2)   eps2 = (u1, u3)   eps3 = (u2, u4)
+    eps4 = (u3, u4)   eps5 = (u4, u5)   eps6 = (u3, u5)
+
+Temporal order (strict partial order, generators):
+    eps1 < eps3, eps1 < eps5, eps2 < eps4, eps2 < eps5,
+    eps2 < eps6, eps4 < eps6
+
+Data graph G (Figure 2a), vertices v1, v2, v4, v5, v7 (1, 2, 4, 5, 7
+here), edge sigma_i arriving at time i:
+
+    s1=(v1,v2,1)  s2=(v4,v5,2)   s3=(v4,v5,3)   s4=(v1,v4,4)
+    s5=(v4,v7,5)  s6=(v1,v2,6)   s7=(v4,v7,7)   s8=(v1,v4,8)
+    s9=(v5,v7,9)  s10=(v5,v7,10) s11=(v2,v5,11) s12=(v1,v4,12)
+    s13=(v4,v5,13) s14=(v4,v7,14)
+
+Labels pair off the matched vertices: u1/v1 -> A, u2/v2 -> B,
+u3/v4 -> C, u4/v5 -> D, u5/v7 -> E.
+
+The paper's query DAG q-hat (Figure 3a) directs the edges
+    u1->u2, u1->u3, u2->u4, u3->u4, u4->u5, u3->u5
+(all checked against the paths and sub-DAGs quoted in the text:
+q-hat_u3 = {eps4, eps5, eps6}, q-hat_eps2 = {eps2, eps4, eps5, eps6},
+root-to-leaf paths eps1->eps3->eps5, eps2->eps4->eps5, eps2->eps6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.dag import QueryDag
+from repro.graph.temporal_graph import Edge, TemporalGraph
+from repro.query.temporal_query import TemporalQuery
+
+# Query vertex indices for u1..u5.
+U1, U2, U3, U4, U5 = 0, 1, 2, 3, 4
+
+# Edge indices for eps1..eps6.
+EPS1, EPS2, EPS3, EPS4, EPS5, EPS6 = 0, 1, 2, 3, 4, 5
+
+QUERY_LABELS = ["A", "B", "C", "D", "E"]
+QUERY_EDGES = [(U1, U2), (U1, U3), (U2, U4), (U3, U4), (U4, U5), (U3, U5)]
+ORDER_PAIRS = [(EPS1, EPS3), (EPS1, EPS5), (EPS2, EPS4),
+               (EPS2, EPS5), (EPS2, EPS6), (EPS4, EPS6)]
+
+# Data vertex ids for v1, v2, v4, v5, v7 (named after the paper).
+V1, V2, V4, V5, V7 = 1, 2, 4, 5, 7
+
+DATA_LABELS: Dict[int, str] = {V1: "A", V2: "B", V4: "C", V5: "D", V7: "E"}
+
+SIGMA: Dict[int, Edge] = {
+    1: Edge.make(V1, V2, 1),
+    2: Edge.make(V4, V5, 2),
+    3: Edge.make(V4, V5, 3),
+    4: Edge.make(V1, V4, 4),
+    5: Edge.make(V4, V7, 5),
+    6: Edge.make(V1, V2, 6),
+    7: Edge.make(V4, V7, 7),
+    8: Edge.make(V1, V4, 8),
+    9: Edge.make(V5, V7, 9),
+    10: Edge.make(V5, V7, 10),
+    11: Edge.make(V2, V5, 11),
+    12: Edge.make(V1, V4, 12),
+    13: Edge.make(V4, V5, 13),
+    14: Edge.make(V4, V7, 14),
+}
+
+
+def make_query() -> TemporalQuery:
+    """The temporal query graph q of Figure 2c."""
+    return TemporalQuery(QUERY_LABELS, QUERY_EDGES, ORDER_PAIRS)
+
+
+def make_paper_dag(query: TemporalQuery) -> QueryDag:
+    """The query DAG of Figure 3a (explicit directions, root u1)."""
+    edge_parent = [U1, U1, U2, U3, U4, U3]
+    return QueryDag(query, edge_parent, root=U1)
+
+
+def make_graph(up_to: int = 14) -> TemporalGraph:
+    """The data graph G of Figure 2a with edges sigma_1..sigma_up_to."""
+    graph = TemporalGraph(labels=DATA_LABELS)
+    for i in range(1, up_to + 1):
+        graph.insert_edge(SIGMA[i])
+    return graph
+
+
+def all_edges(up_to: int = 14) -> List[Edge]:
+    """The chronological edge stream sigma_1..sigma_up_to."""
+    return [SIGMA[i] for i in range(1, up_to + 1)]

@@ -1,0 +1,86 @@
+"""Baseline engines must produce exactly the oracle's match deltas."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines import RapidFlowEngine, SymBiEngine, TimingEngine
+from repro.oracle import OracleEngine
+from repro.streaming import StreamDriver
+from tests.paper_example import DATA_LABELS, SIGMA, all_edges, make_query
+from tests.test_property_engines import run_engine, streams, temporal_queries
+
+ENGINES = [SymBiEngine, RapidFlowEngine, TimingEngine]
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+class TestPaperExample:
+    def test_matches_oracle_delta_10(self, engine_cls):
+        query = make_query()
+        oracle = run_engine(OracleEngine(query, DATA_LABELS),
+                            all_edges(14), 10)
+        got = run_engine(engine_cls(query, DATA_LABELS), all_edges(14), 10)
+        assert got == oracle
+
+    def test_matches_oracle_delta_100(self, engine_cls):
+        query = make_query()
+        oracle = run_engine(OracleEngine(query, DATA_LABELS),
+                            all_edges(14), 100)
+        got = run_engine(engine_cls(query, DATA_LABELS), all_edges(14), 100)
+        assert got == oracle
+
+    def test_matches_oracle_delta_4(self, engine_cls):
+        query = make_query()
+        oracle = run_engine(OracleEngine(query, DATA_LABELS),
+                            all_edges(14), 4)
+        got = run_engine(engine_cls(query, DATA_LABELS), all_edges(14), 4)
+        assert got == oracle
+
+
+@settings(max_examples=60, deadline=None)
+@given(query=temporal_queries(), stream=streams())
+def test_symbi_matches_oracle(query, stream):
+    labels, edges, delta = stream
+    oracle = run_engine(OracleEngine(query, labels), edges, delta)
+    assert run_engine(SymBiEngine(query, labels), edges, delta) == oracle
+
+
+@settings(max_examples=60, deadline=None)
+@given(query=temporal_queries(), stream=streams())
+def test_rapidflow_matches_oracle(query, stream):
+    labels, edges, delta = stream
+    oracle = run_engine(OracleEngine(query, labels), edges, delta)
+    assert run_engine(RapidFlowEngine(query, labels), edges, delta) == oracle
+
+
+@settings(max_examples=60, deadline=None)
+@given(query=temporal_queries(), stream=streams())
+def test_timing_matches_oracle(query, stream):
+    labels, edges, delta = stream
+    oracle = run_engine(OracleEngine(query, labels), edges, delta)
+    assert run_engine(TimingEngine(query, labels), edges, delta) == oracle
+
+
+class TestTimingInternals:
+    def test_partials_materialized(self):
+        query = make_query()
+        engine = TimingEngine(query, DATA_LABELS)
+        driver = StreamDriver(engine)
+        driver.run_edges(all_edges(14), delta=100)
+        assert engine.stats.extra["partials_sum"] > 0
+
+    def test_timing_memory_exceeds_structure_free_baseline(self):
+        """Timing's materialized partials must dominate RapidFlow's
+        (index-free) structural footprint."""
+        query = make_query()
+        timing = TimingEngine(query, DATA_LABELS)
+        StreamDriver(timing).run_edges(all_edges(14), delta=100)
+        assert timing.stats.peak_structure_entries > 0
+
+    def test_join_order_connected(self):
+        query = make_query()
+        engine = TimingEngine(query, DATA_LABELS)
+        bound = set()
+        for i, qe in enumerate(engine._positions):
+            if i > 0:
+                assert qe.u in bound or qe.v in bound
+            bound.update((qe.u, qe.v))

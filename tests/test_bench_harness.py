@@ -1,0 +1,102 @@
+"""Integration tests for the benchmark harness at tiny scale."""
+
+import math
+
+import pytest
+
+from repro.bench import (
+    ExperimentConfig, ablation_sweep, dataset_table, density_sweep,
+    engine_names, filtering_power_table, format_cells, format_table3,
+    format_table5, make_engine, query_size_sweep, run_query, window_sweep,
+)
+from repro.datasets import DATASET_SPECS, generate_stream
+from repro.query import TemporalQuery
+
+
+TINY = ExperimentConfig(datasets=("superuser",), stream_edges=150,
+                        queries_per_cell=1, time_limit=10.0)
+
+
+class TestRunner:
+    def test_engine_registry_complete(self):
+        assert set(engine_names()) == {
+            "tcm", "tcm-pruning", "symbi", "rapidflow", "timing"}
+
+    def test_unknown_engine_rejected(self):
+        query = TemporalQuery(["A", "B"], [(0, 1)])
+        with pytest.raises(ValueError):
+            make_engine("nope", query, {1: "A", 2: "B"})
+
+    def test_run_query_result_fields(self):
+        stream = generate_stream(DATASET_SPECS["superuser"], 100, seed=0)
+        query = TemporalQuery(["A", "B"], [(0, 1)])
+        labels = dict(stream.labels)
+        labels.update({10_000: "A", 10_001: "B"})
+        result = run_query("tcm", query, labels, stream.edges, delta=30,
+                           time_limit=10.0)
+        assert result.engine == "tcm"
+        assert result.solved
+        assert result.elapsed_seconds >= 0
+        assert result.matches >= 0
+
+    def test_timeout_charged_full_limit(self):
+        stream = generate_stream(DATASET_SPECS["yahoo"], 400, seed=0)
+        query = TemporalQuery(["A"] * 2, [(0, 1)])
+        labels = {v: "A" for v in stream.labels}
+        result = run_query("tcm", query, labels, stream.edges, delta=200,
+                           time_limit=0.0)
+        assert not result.solved
+        assert result.elapsed_seconds == 0.0
+
+
+class TestSweeps:
+    def test_query_size_sweep_cells(self):
+        cells = query_size_sweep(("tcm", "symbi"), TINY, sizes=(3,))
+        assert {c.engine for c in cells} == {"tcm", "symbi"}
+        assert all(c.total == 1 for c in cells)
+
+    def test_density_sweep_cells(self):
+        cells = density_sweep(("tcm",), TINY, densities=(0.0, 1.0))
+        assert {c.x for c in cells} == {0.0, 1.0}
+
+    def test_window_sweep_cells(self):
+        cells = window_sweep(("tcm",), TINY, fractions=(0.2,))
+        assert len(cells) == 1
+
+    def test_ablation_engines(self):
+        cells = ablation_sweep(TINY, sizes=(3,))
+        assert {c.engine for c in cells} == {
+            "symbi", "tcm-pruning", "tcm"}
+
+    def test_filtering_power_ratios_bounded(self):
+        rows = filtering_power_table(TINY, sizes=(3,))
+        for row in rows:
+            if not math.isnan(row["edge_ratio"]):
+                assert 0.0 <= row["edge_ratio"] <= 1.0 + 1e-9
+
+    def test_dataset_table_rows(self):
+        rows = dataset_table(stream_edges=200)
+        assert len(rows) == 6
+        assert {r["dataset"] for r in rows} == set(DATASET_SPECS)
+
+
+class TestReportFormatting:
+    def test_format_cells_layout(self):
+        cells = query_size_sweep(("tcm",), TINY, sizes=(3,))
+        for selector in ("elapsed", "solved", "memory", "matches"):
+            text = format_cells(cells, "T", selector)
+            assert "[superuser]" in text
+            assert "tcm" in text
+
+    def test_format_cells_rejects_unknown_selector(self):
+        cells = query_size_sweep(("tcm",), TINY, sizes=(3,))
+        with pytest.raises(ValueError):
+            format_cells(cells, "T", "nope")
+
+    def test_format_table3(self):
+        text = format_table3(dataset_table(stream_edges=200))
+        assert "netflow" in text and "davg" in text
+
+    def test_format_table5(self):
+        text = format_table5(filtering_power_table(TINY, sizes=(3,)))
+        assert "DCS edges" in text

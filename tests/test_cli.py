@@ -1,0 +1,55 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig7_defaults(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.command == "fig7"
+        assert args.sizes == [4, 5, 6]
+
+    def test_engine_override(self):
+        args = build_parser().parse_args(
+            ["fig7", "--engines", "tcm", "symbi"])
+        assert args.engines == ["tcm", "symbi"]
+
+
+class TestExecution:
+    def run(self, argv, capsys):
+        rc = main(argv)
+        assert rc == 0
+        return capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        out = self.run(["table3", "--stream-edges", "500"], capsys)
+        assert "netflow" in out and "lsbench" in out
+
+    def test_fig7_tiny(self, capsys):
+        out = self.run([
+            "fig7", "--datasets", "superuser", "--stream-edges", "200",
+            "--queries", "1", "--sizes", "3", "--time-limit", "5",
+            "--engines", "tcm", "symbi",
+        ], capsys)
+        assert "Figure 7a" in out
+        assert "tcm" in out and "symbi" in out
+
+    def test_fig10_tiny(self, capsys):
+        out = self.run([
+            "fig10", "--datasets", "superuser", "--stream-edges", "200",
+            "--queries", "1", "--sizes", "3", "--time-limit", "5",
+        ], capsys)
+        assert "Figure 10" in out
+
+    def test_table5_tiny(self, capsys):
+        out = self.run([
+            "table5", "--datasets", "superuser", "--stream-edges", "200",
+            "--queries", "1", "--sizes", "3", "--time-limit", "5",
+        ], capsys)
+        assert "Table V" in out

@@ -1,0 +1,104 @@
+"""Tests for the synthetic dataset generators (Table III stand-ins)."""
+
+import pytest
+
+from repro.datasets import DATASET_SPECS, dataset_names, generate_stream
+from repro.graph.temporal_graph import TemporalGraph
+
+
+class TestSpecs:
+    def test_all_six_datasets_present(self):
+        assert set(dataset_names()) == set(DATASET_SPECS)
+        assert len(dataset_names()) == 6
+
+    def test_table3_shapes(self):
+        """Relative characteristics from Table III must be encoded."""
+        specs = DATASET_SPECS
+        assert specs["netflow"].num_labels == 1
+        assert specs["wikitalk"].num_labels == 365
+        assert specs["lsbench"].num_labels == 11
+        # Netflow has by far the highest multiplicity; LSBench none.
+        assert specs["netflow"].avg_multiplicity > 20
+        assert specs["lsbench"].avg_multiplicity == 1.0
+        # Yahoo and Netflow are the densest.
+        assert specs["yahoo"].avg_degree > specs["superuser"].avg_degree
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_stream_basic_invariants(self, name):
+        stream = generate_stream(DATASET_SPECS[name], 500, seed=7)
+        labels, edges = stream.labels, stream.edges
+        assert len(edges) == 500
+        # Chronological unit-tick timestamps.
+        assert [e.t for e in edges] == list(range(1, 501))
+        for e in edges:
+            assert e.u != e.v
+            assert e.u in labels and e.v in labels
+        # Labels within the alphabet.
+        spec = DATASET_SPECS[name]
+        assert all(0 <= l < spec.num_labels for l in labels.values())
+
+    def test_determinism(self):
+        a = generate_stream(DATASET_SPECS["yahoo"], 300, seed=42)
+        b = generate_stream(DATASET_SPECS["yahoo"], 300, seed=42)
+        assert a == b
+        c = generate_stream(DATASET_SPECS["yahoo"], 300, seed=43)
+        assert a != c
+
+    def test_multiplicity_ordering_between_datasets(self):
+        """Netflow streams must exhibit much higher parallel-edge
+        multiplicity than LSBench streams."""
+        def multiplicity(name):
+            stream = generate_stream(DATASET_SPECS[name], 2000, seed=3)
+            graph = TemporalGraph(labels=stream.labels,
+                                  directed=stream.directed)
+            for e in stream.edges:
+                graph.insert_edge(e)
+            pairs = sum(graph.neighbor_count(v) for v in graph.vertices())
+            return 2 * graph.num_edges() / pairs
+
+        m_netflow = multiplicity("netflow")
+        m_lsbench = multiplicity("lsbench")
+        assert m_netflow > 3 * m_lsbench
+        assert m_lsbench == pytest.approx(1.0, abs=0.1)
+
+    def test_degree_skew_with_hub_bias(self):
+        """Hub-biased datasets concentrate degree on few vertices."""
+        stream = generate_stream(DATASET_SPECS["netflow"], 2000, seed=3)
+        graph = TemporalGraph(labels=stream.labels,
+                              directed=stream.directed)
+        for e in stream.edges:
+            graph.insert_edge(e)
+        degrees = sorted((graph.degree(v) for v in graph.vertices()),
+                         reverse=True)
+        top_share = sum(degrees[:max(1, len(degrees) // 20)]) / sum(degrees)
+        assert top_share > 0.15  # top 5% of vertices carry >15% of edges
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_stream(DATASET_SPECS["yahoo"], 0)
+
+
+class TestDirectedAndLabeledStreams:
+    def test_netflow_is_directed_with_edge_labels(self):
+        stream = generate_stream(DATASET_SPECS["netflow"], 300, seed=1)
+        assert stream.directed
+        assert stream.edge_labels is not None
+        assert len(stream.edge_labels) == len(stream.edges)
+        spec = DATASET_SPECS["netflow"]
+        assert all(0 <= l < spec.num_edge_labels
+                   for l in stream.edge_labels.values())
+        fn = stream.edge_label_fn()
+        assert fn(stream.edges[0]) == stream.edge_labels[stream.edges[0]]
+
+    def test_undirected_datasets_have_no_edge_labels(self):
+        stream = generate_stream(DATASET_SPECS["yahoo"], 300, seed=1)
+        assert not stream.directed
+        assert stream.edge_labels is None
+        assert stream.edge_label_fn() is None
+
+    def test_backward_compatible_unpacking(self):
+        labels, edges = generate_stream(DATASET_SPECS["yahoo"], 100, seed=1)
+        assert isinstance(labels, dict)
+        assert len(edges) == 100

@@ -1,0 +1,166 @@
+"""Unit tests for the DCS candidate structure and its D1/D2 filter."""
+
+import pytest
+
+from repro.core.dag import QueryDag
+from repro.core.dcs import DCS
+from repro.graph.temporal_graph import Edge, TemporalGraph
+from repro.query import TemporalQuery
+from tests.paper_example import (
+    DATA_LABELS, SIGMA, make_paper_dag, make_query,
+)
+
+
+def path_setup():
+    """Query path A-B-C; data path 1(A)-2(B)-3(C) plus a dangling 4(B)."""
+    query = TemporalQuery(["A", "B", "C"], [(0, 1), (1, 2)])
+    dag = QueryDag(query, edge_parent=[0, 1], root=0)
+    labels = {1: "A", 2: "B", 3: "C", 4: "B"}
+    graph = TemporalGraph(labels=labels)
+    return query, dag, graph
+
+
+class TestEdgeSet:
+    def test_add_remove_has(self):
+        _, dag, graph = path_setup()
+        graph.insert_edge(Edge.make(1, 2, 5))
+        dcs = DCS(dag, graph)
+        dcs.add_edge(0, 1, 2, 5)
+        assert dcs.has_edge(0, 1, 2, 5)
+        assert dcs.timestamps(0, 1, 2) == [5]
+        assert dcs.num_edges() == 1
+        dcs.remove_edge(0, 1, 2, 5)
+        assert not dcs.has_edge(0, 1, 2, 5)
+        assert dcs.num_edges() == 0
+
+    def test_duplicate_add_rejected(self):
+        _, dag, graph = path_setup()
+        graph.insert_edge(Edge.make(1, 2, 5))
+        dcs = DCS(dag, graph)
+        dcs.add_edge(0, 1, 2, 5)
+        with pytest.raises(ValueError):
+            dcs.add_edge(0, 1, 2, 5)
+
+    def test_remove_missing_rejected(self):
+        _, dag, graph = path_setup()
+        dcs = DCS(dag, graph)
+        with pytest.raises(KeyError):
+            dcs.remove_edge(0, 1, 2, 5)
+
+    def test_parallel_timestamps_sorted(self):
+        _, dag, graph = path_setup()
+        for t in (7, 3, 5):
+            graph.insert_edge(Edge.make(1, 2, t))
+        dcs = DCS(dag, graph)
+        for t in (7, 3, 5):
+            dcs.add_edge(0, 1, 2, t)
+        assert dcs.timestamps(0, 1, 2) == [3, 5, 7]
+
+
+class TestD1D2:
+    def test_full_path_passes(self):
+        _, dag, graph = path_setup()
+        graph.insert_edge(Edge.make(1, 2, 1))
+        graph.insert_edge(Edge.make(2, 3, 2))
+        dcs = DCS(dag, graph)
+        dcs.apply([(0, 1, 2, 1), (1, 2, 3, 2)], [])
+        # All three pairs survive the bidirectional filter.
+        assert dcs.d2(0, 1)
+        assert dcs.d2(1, 2)
+        assert dcs.d2(2, 3)
+        assert dcs.num_d2_vertices() == 3
+
+    def test_dangling_vertex_fails_d2(self):
+        """Vertex 4 (label B) has no C-neighbor, so D2 must reject the
+        pair (query vertex 1, data vertex 4)."""
+        _, dag, graph = path_setup()
+        graph.insert_edge(Edge.make(1, 2, 1))
+        graph.insert_edge(Edge.make(2, 3, 2))
+        graph.insert_edge(Edge.make(1, 4, 3))
+        dcs = DCS(dag, graph)
+        dcs.apply([(0, 1, 2, 1), (1, 2, 3, 2), (0, 1, 4, 3)], [])
+        assert dcs.d2(1, 2)
+        assert not dcs.d2(1, 4)  # no edge toward a C vertex
+
+    def test_d1_requires_parent_support(self):
+        """A C-vertex whose B-neighbor lacks an A-parent must fail D1."""
+        _, dag, graph = path_setup()
+        # Only B-C present: B has no A parent edge.
+        graph.insert_edge(Edge.make(2, 3, 2))
+        dcs = DCS(dag, graph)
+        dcs.apply([(1, 2, 3, 2)], [])
+        assert not dcs.d1(2, 3)
+        assert not dcs.d2(2, 3)
+        # Adding A-B repairs the chain.
+        graph.insert_edge(Edge.make(1, 2, 5))
+        dcs.apply([(0, 1, 2, 5)], [])
+        assert dcs.d1(2, 3)
+        assert dcs.d2(2, 3)
+
+    def test_removal_propagates(self):
+        _, dag, graph = path_setup()
+        graph.insert_edge(Edge.make(1, 2, 1))
+        graph.insert_edge(Edge.make(2, 3, 2))
+        dcs = DCS(dag, graph)
+        dcs.apply([(0, 1, 2, 1), (1, 2, 3, 2)], [])
+        assert dcs.d2(2, 3)
+        graph.remove_edge(Edge.make(1, 2, 1))
+        dcs.apply([], [(0, 1, 2, 1)])
+        # The A-B support vanished; D1 of (2, 3) must flip off.
+        assert not dcs.d1(2, 3)
+        assert not dcs.d2(2, 3)
+
+    def test_dead_vertex_entries_purged(self):
+        _, dag, graph = path_setup()
+        graph.insert_edge(Edge.make(1, 2, 1))
+        dcs = DCS(dag, graph)
+        dcs.apply([(0, 1, 2, 1)], [])
+        graph.remove_edge(Edge.make(1, 2, 1))
+        dcs.apply([], [(0, 1, 2, 1)])
+        assert not dcs.d1(0, 1)
+        assert not dcs.d2(1, 2)
+        assert dcs.size() == 0 or dcs.num_edges() == 0
+
+
+class TestIncrementalConsistency:
+    """D1/D2 after a random update sequence must equal a from-scratch
+    computation on the final state."""
+
+    def test_paper_stream_consistency(self):
+        query = make_query()
+        dag = make_paper_dag(query)
+        graph = TemporalGraph(labels=DATA_LABELS)
+        dcs = DCS(dag, graph)
+
+        def label_candidates(edge):
+            out = []
+            for qe in query.edges:
+                lu, lv = query.label(qe.u), query.label(qe.v)
+                for a, b in ((edge.u, edge.v), (edge.v, edge.u)):
+                    if (DATA_LABELS[a] == lu and DATA_LABELS[b] == lv):
+                        out.append((qe.index, a, b, edge.t))
+            return out
+
+        for i in range(1, 15):
+            edge = SIGMA[i]
+            graph.insert_edge(edge)
+            dcs.apply(label_candidates(edge), [])
+            self.assert_matches_scratch(query, dag, graph, dcs)
+        for i in range(1, 15):
+            edge = SIGMA[i]
+            graph.remove_edge(edge)
+            dcs.apply([], label_candidates(edge))
+            self.assert_matches_scratch(query, dag, graph, dcs)
+
+    @staticmethod
+    def assert_matches_scratch(query, dag, graph, dcs):
+        fresh = DCS(dag, graph)
+        adds = []
+        for e in range(query.num_edges):
+            for (a, b), ts in dcs._pairs[e].items():
+                adds.extend((e, a, b, t) for t in ts)
+        fresh.apply(adds, [])
+        for u in range(query.num_vertices):
+            for v in graph.vertices():
+                assert dcs.d1(u, v) == fresh.d1(u, v), ("d1", u, v)
+                assert dcs.d2(u, v) == fresh.d2(u, v), ("d2", u, v)

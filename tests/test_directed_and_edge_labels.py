@@ -1,0 +1,179 @@
+"""Tests for the Section II extension: directed queries and edge labels.
+
+Every engine must agree with the brute-force oracle on directed and
+edge-labeled instances too; plus targeted semantics tests (direction
+preservation, edge-label selectivity).
+"""
+
+from typing import Dict, List, Tuple
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import RapidFlowEngine, SymBiEngine, TimingEngine
+from repro.core.tcm import TCMEngine
+from repro.graph.temporal_graph import Edge, TemporalGraph
+from repro.oracle import OracleEngine, enumerate_embeddings
+from repro.query import TemporalQuery
+from repro.streaming import StreamDriver
+
+VLABELS = ["X", "Y"]
+ELABELS = ["p", "q"]
+
+
+class TestDirectedSemantics:
+    """A 2-edge directed path A->B->C must respect edge directions."""
+
+    def setup_method(self):
+        self.query = TemporalQuery(
+            ["A", "B", "C"], [(0, 1), (1, 2)], [(0, 1)], directed=True)
+        self.labels = {1: "A", 2: "B", 3: "C"}
+
+    def run(self, edges):
+        engine = TCMEngine(self.query, self.labels)
+        return StreamDriver(engine).run_edges(edges, delta=100)
+
+    def test_correct_direction_matches(self):
+        result = self.run([Edge.make_directed(1, 2, 1),
+                           Edge.make_directed(2, 3, 2)])
+        assert len(result.occurred) == 1
+
+    def test_reversed_first_hop_rejected(self):
+        result = self.run([Edge.make_directed(2, 1, 1),
+                           Edge.make_directed(2, 3, 2)])
+        assert not result.occurred
+
+    def test_reversed_second_hop_rejected(self):
+        result = self.run([Edge.make_directed(1, 2, 1),
+                           Edge.make_directed(3, 2, 2)])
+        assert not result.occurred
+
+    def test_antiparallel_data_edges_coexist(self):
+        graph = TemporalGraph(labels={1: "A", 2: "A"}, directed=True)
+        graph.insert_edge(Edge.make_directed(1, 2, 5))
+        graph.insert_edge(Edge.make_directed(2, 1, 5))
+        assert graph.num_edges() == 2
+        assert graph.timestamps_between(1, 2) == [5]
+        assert graph.timestamps_between(2, 1) == [5]
+
+    def test_antiparallel_query_edges_allowed(self):
+        q = TemporalQuery(["A", "A"], [(0, 1), (1, 0)], directed=True)
+        assert q.num_edges == 2
+
+
+class TestEdgeLabelSemantics:
+    """Edge labels restrict which data edges can serve as images."""
+
+    def setup_method(self):
+        self.query = TemporalQuery(
+            ["A", "B"], [(0, 1)], edge_labels=["p"])
+        self.labels = {1: "A", 2: "B"}
+        self.elabels = {Edge.make(1, 2, 1): "p", Edge.make(1, 2, 2): "q"}
+
+    def test_only_matching_label_matches(self):
+        engine = TCMEngine(self.query, self.labels,
+                           edge_label_fn=self.elabels.get)
+        result = StreamDriver(engine).run_edges(
+            [Edge.make(1, 2, 1), Edge.make(1, 2, 2)], delta=100)
+        assert len(result.occurred) == 1
+        assert result.occurred[0][1].edge_map[0].t == 1
+
+    def test_unlabeled_query_matches_everything(self):
+        query = TemporalQuery(["A", "B"], [(0, 1)])
+        engine = TCMEngine(query, self.labels,
+                           edge_label_fn=self.elabels.get)
+        result = StreamDriver(engine).run_edges(
+            [Edge.make(1, 2, 1), Edge.make(1, 2, 2)], delta=100)
+        assert len(result.occurred) == 2
+
+    def test_edge_label_filters_path_query(self):
+        """An edge-labeled 2-path only matches via the labeled edges."""
+        query = TemporalQuery(["A", "B", "A"], [(0, 1), (1, 2)],
+                              [(0, 1)], edge_labels=["p", "q"])
+        labels = {1: "A", 2: "B", 3: "A"}
+        elabels = {
+            Edge.make(1, 2, 1): "p",
+            Edge.make(2, 3, 2): "p",   # wrong label for edge 1
+            Edge.make(2, 3, 3): "q",
+        }
+        engine = TCMEngine(query, labels, edge_label_fn=elabels.get)
+        result = StreamDriver(engine).run_edges(
+            sorted(elabels, key=lambda e: e.t), delta=100)
+        assert len(result.occurred) == 1
+        match = result.occurred[0][1]
+        assert match.edge_map[1].t == 3
+
+
+# ----------------------------------------------------------------------
+# Property-based cross-validation on directed, edge-labeled instances
+# ----------------------------------------------------------------------
+@st.composite
+def directed_labeled_instances(draw):
+    """(query, vertex labels, edge_label map, stream, delta)."""
+    n = draw(st.integers(min_value=2, max_value=4))
+    vlabels = [draw(st.sampled_from(VLABELS)) for _ in range(n)]
+    edges: List[Tuple[int, int]] = []
+    for v in range(1, n):
+        u = draw(st.integers(min_value=0, max_value=v - 1))
+        if draw(st.booleans()):
+            edges.append((u, v))
+        else:
+            edges.append((v, u))
+    m = len(edges)
+    use_elabels = draw(st.booleans())
+    edge_labels = ([draw(st.sampled_from(ELABELS)) for _ in range(m)]
+                   if use_elabels else None)
+    perm = draw(st.permutations(list(range(m))))
+    rank = {e: i for i, e in enumerate(perm)}
+    pairs = [(i, j) for i in range(m) for j in range(m)
+             if rank[i] < rank[j] and draw(st.booleans())]
+    query = TemporalQuery(vlabels, edges, pairs, directed=True,
+                          edge_labels=edge_labels)
+
+    nv = draw(st.integers(min_value=2, max_value=5))
+    data_labels = {v: draw(st.sampled_from(VLABELS)) for v in range(nv)}
+    stream = []
+    elabel_map: Dict[Edge, str] = {}
+    num_edges = draw(st.integers(min_value=1, max_value=10))
+    for t in range(1, num_edges + 1):
+        u = draw(st.integers(min_value=0, max_value=nv - 1))
+        v = draw(st.integers(min_value=0, max_value=nv - 1))
+        if u == v:
+            v = (v + 1) % nv
+        edge = Edge.make_directed(u, v, t)
+        stream.append(edge)
+        elabel_map[edge] = draw(st.sampled_from(ELABELS))
+    delta = draw(st.integers(min_value=2, max_value=8))
+    return query, data_labels, elabel_map, stream, delta
+
+
+def _run(engine_cls, query, labels, elabels, stream, delta):
+    engine = engine_cls(query, labels, edge_label_fn=elabels.get)
+    result = StreamDriver(engine).run_edges(stream, delta)
+    return result.occurrence_multiset(), result.expiration_multiset()
+
+
+@pytest.mark.parametrize("engine_cls", [
+    TCMEngine, SymBiEngine, RapidFlowEngine, TimingEngine,
+])
+@settings(max_examples=50, deadline=None)
+@given(instance=directed_labeled_instances())
+def test_engines_match_oracle_directed_labeled(engine_cls, instance):
+    query, labels, elabels, stream, delta = instance
+    oracle = _run(OracleEngine, query, labels, elabels, stream, delta)
+    got = _run(engine_cls, query, labels, elabels, stream, delta)
+    assert got == oracle
+
+
+@settings(max_examples=40, deadline=None)
+@given(instance=directed_labeled_instances())
+def test_tcm_matches_are_valid_directed(instance):
+    query, labels, elabels, stream, delta = instance
+    engine = TCMEngine(query, labels, edge_label_fn=elabels.get)
+    from repro.streaming.events import build_event_list
+    for event in build_event_list(stream, delta):
+        if event.is_arrival:
+            for match in engine.on_edge_insert(event.edge):
+                assert match.is_valid(query, engine.graph)
+        else:
+            engine.on_edge_expire(event.edge)

@@ -1,0 +1,169 @@
+"""Unit tests for the temporal multigraph and the sliding window."""
+
+import pytest
+
+from repro.graph import Edge, TemporalGraph, WindowBuffer
+
+
+def make_graph():
+    return TemporalGraph(labels={1: "A", 2: "B", 3: "A"})
+
+
+class TestEdge:
+    def test_make_normalizes_endpoints(self):
+        assert Edge.make(5, 3, 7) == Edge.make(3, 5, 7)
+        assert Edge.make(5, 3, 7).u == 3
+
+    def test_other_endpoint(self):
+        edge = Edge.make(1, 2, 5)
+        assert edge.other(1) == 2
+        assert edge.other(2) == 1
+
+    def test_other_rejects_non_endpoint(self):
+        with pytest.raises(ValueError):
+            Edge.make(1, 2, 5).other(3)
+
+    def test_ordering_is_by_endpoints_then_time(self):
+        assert Edge.make(1, 2, 3) < Edge.make(1, 2, 4) < Edge.make(1, 3, 1)
+
+
+class TestTemporalGraph:
+    def test_insert_and_query(self):
+        g = make_graph()
+        g.insert_edge(Edge.make(1, 2, 5))
+        assert g.has_edge(Edge.make(2, 1, 5))
+        assert g.num_edges() == 1
+        assert g.num_vertices() == 2
+        assert set(g.neighbors(1)) == {2}
+
+    def test_parallel_edges_sorted(self):
+        g = make_graph()
+        for t in (9, 3, 7):
+            g.insert_edge(Edge.make(1, 2, t))
+        assert g.timestamps_between(1, 2) == [3, 7, 9]
+        assert g.timestamps_between(2, 1) == [3, 7, 9]
+        assert [e.t for e in g.edges_between(1, 2)] == [3, 7, 9]
+
+    def test_duplicate_rejected(self):
+        g = make_graph()
+        g.insert_edge(Edge.make(1, 2, 5))
+        with pytest.raises(ValueError):
+            g.insert_edge(Edge.make(2, 1, 5))
+
+    def test_remove_edge(self):
+        g = make_graph()
+        g.insert_edge(Edge.make(1, 2, 5))
+        g.insert_edge(Edge.make(1, 2, 6))
+        g.remove_edge(Edge.make(1, 2, 5))
+        assert g.timestamps_between(1, 2) == [6]
+        g.remove_edge(Edge.make(1, 2, 6))
+        assert not g.has_vertex(1)
+        assert not g.has_vertex(2)
+        assert g.num_edges() == 0
+
+    def test_remove_missing_raises(self):
+        g = make_graph()
+        with pytest.raises(KeyError):
+            g.remove_edge(Edge.make(1, 2, 5))
+
+    def test_vertex_disappears_without_incident_edges(self):
+        g = make_graph()
+        g.insert_edge(Edge.make(1, 2, 1))
+        g.insert_edge(Edge.make(2, 3, 2))
+        g.remove_edge(Edge.make(1, 2, 1))
+        assert not g.has_vertex(1)
+        assert g.has_vertex(2)
+        assert g.has_vertex(3)
+
+    def test_degree_counts_multiplicity(self):
+        g = make_graph()
+        g.insert_edge(Edge.make(1, 2, 1))
+        g.insert_edge(Edge.make(1, 2, 2))
+        g.insert_edge(Edge.make(1, 3, 3))
+        assert g.degree(1) == 3
+        assert g.neighbor_count(1) == 2
+
+    def test_count_between_bounds(self):
+        g = make_graph()
+        for t in (1, 4, 6, 9):
+            g.insert_edge(Edge.make(1, 2, t))
+        assert g.count_between_after(1, 2, 4) == 2
+        assert g.count_between_before(1, 2, 4) == 1
+        assert g.count_between_after(1, 2, 0) == 4
+        assert g.count_between_before(1, 2, 100) == 4
+
+    def test_edges_iterates_each_once(self):
+        g = make_graph()
+        g.insert_edge(Edge.make(1, 2, 1))
+        g.insert_edge(Edge.make(2, 3, 2))
+        g.insert_edge(Edge.make(1, 2, 3))
+        assert sorted(g.edges()) == [
+            Edge.make(1, 2, 1), Edge.make(1, 2, 3), Edge.make(2, 3, 2)]
+
+    def test_labels(self):
+        g = make_graph()
+        assert g.label(1) == "A"
+        assert g.label(2) == "B"
+        with pytest.raises(KeyError):
+            g.label(99)
+
+    def test_label_fn(self):
+        g = TemporalGraph(label_fn=lambda v: v % 2)
+        assert g.label(7) == 1
+
+    def test_labels_and_label_fn_exclusive(self):
+        with pytest.raises(ValueError):
+            TemporalGraph(labels={1: "A"}, label_fn=lambda v: "B")
+
+    def test_copy_is_independent(self):
+        g = make_graph()
+        g.insert_edge(Edge.make(1, 2, 1))
+        clone = g.copy()
+        clone.insert_edge(Edge.make(1, 2, 2))
+        assert g.num_edges() == 1
+        assert clone.num_edges() == 2
+
+
+class TestWindowBuffer:
+    def test_expiry_on_advance(self):
+        buf = WindowBuffer(delta=10, labels={1: "A", 2: "B", 3: "A"})
+        buf.insert(Edge.make(1, 2, 1))
+        expired = buf.insert(Edge.make(2, 3, 11))
+        assert expired == [Edge.make(1, 2, 1)]
+        assert not buf.graph.has_edge(Edge.make(1, 2, 1))
+        assert buf.graph.has_edge(Edge.make(2, 3, 11))
+
+    def test_edge_alive_within_window(self):
+        buf = WindowBuffer(delta=10, labels={1: "A", 2: "B", 3: "A"})
+        buf.insert(Edge.make(1, 2, 1))
+        expired = buf.insert(Edge.make(2, 3, 10))
+        assert expired == []
+        assert len(buf) == 2
+
+    def test_out_of_order_rejected(self):
+        buf = WindowBuffer(delta=5, labels={1: "A", 2: "B"})
+        buf.insert(Edge.make(1, 2, 10))
+        with pytest.raises(ValueError):
+            buf.insert(Edge.make(1, 2, 9))
+
+    def test_drain(self):
+        buf = WindowBuffer(delta=100, labels={1: "A", 2: "B"})
+        buf.insert(Edge.make(1, 2, 1))
+        buf.insert(Edge.make(1, 2, 2))
+        drained = buf.drain()
+        assert len(drained) == 2
+        assert buf.graph.num_edges() == 0
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            WindowBuffer(delta=0)
+
+    def test_paper_example_window(self):
+        """Example II.2: at t=14 with delta=10, sigma_4 expires."""
+        from tests.paper_example import DATA_LABELS, all_edges
+        buf = WindowBuffer(delta=10, labels=DATA_LABELS)
+        expired = []
+        for edge in all_edges(14):
+            expired.extend(buf.insert(edge))
+        assert [e.t for e in expired] == [1, 2, 3, 4]
+        assert buf.graph.num_edges() == 10

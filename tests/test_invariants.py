@@ -1,0 +1,128 @@
+"""Property-based invariants of the incremental index structures.
+
+Beyond matching the oracle's *output*, the internal structures must
+stay exactly consistent with a from-scratch recomputation after any
+insert/delete sequence — these tests drive random streams through the
+max-min index and the DCS and compare against fresh instances built on
+the final graph state.
+"""
+
+from typing import List, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dag import build_best_dag
+from repro.core.dcs import DCS
+from repro.core.maxmin import MaxMinIndex
+from repro.core.tcm import TCMEngine
+from repro.graph.temporal_graph import Edge, TemporalGraph
+from repro.streaming.events import build_event_list
+from tests.test_property_engines import streams, temporal_queries
+
+
+def apply_events(query, stream_labels, edges, delta):
+    """Drive a TCM engine over the stream, returning it mid-flight at a
+    random-ish point (after all arrivals) plus fully drained."""
+    engine = TCMEngine(query, stream_labels)
+    for event in build_event_list(edges, delta):
+        if event.is_arrival:
+            engine.on_edge_insert(event.edge)
+        else:
+            engine.on_edge_expire(event.edge)
+        yield engine
+
+
+@settings(max_examples=40, deadline=None)
+@given(query=temporal_queries(), stream=streams())
+def test_maxmin_always_matches_scratch(query, stream):
+    labels, edges, delta = stream
+    dag = build_best_dag(query)
+    graph = TemporalGraph(label_fn=labels.__getitem__)
+    index = MaxMinIndex(dag, graph)
+    for event in build_event_list(edges, delta):
+        if event.is_arrival:
+            graph.insert_edge(event.edge)
+        else:
+            graph.remove_edge(event.edge)
+        index.on_graph_change(event.edge.u, event.edge.v)
+        fresh = MaxMinIndex(dag, graph)
+        for u in range(query.num_vertices):
+            for v in graph.vertices():
+                assert index.entry(u, v) == fresh.entry(u, v), (u, v)
+
+
+@settings(max_examples=30, deadline=None)
+@given(query=temporal_queries(), stream=streams())
+def test_dcs_filter_matches_scratch_through_engine(query, stream):
+    """After every event processed by the full TCM engine, the DCS edge
+    set must equal the engine's valid-candidate predicate evaluated on
+    the current window, and D1/D2 must match a fresh DCS fed the same
+    edges."""
+    labels, edges, delta = stream
+    engine = TCMEngine(query, labels)
+    for event in build_event_list(edges, delta):
+        if event.is_arrival:
+            engine.on_edge_insert(event.edge)
+        else:
+            engine.on_edge_expire(event.edge)
+        graph = engine.graph
+        # (1) DCS content == valid candidates of the current window.
+        expected = set()
+        for qe in query.edges:
+            for a in graph.vertices():
+                for b in graph.neighbors(a):
+                    for t in engine._valid_timestamps(qe.index, a, b):
+                        expected.add((qe.index, a, b, t))
+        actual = set()
+        for e in range(query.num_edges):
+            for (a, b), ts in engine.dcs._pairs[e].items():
+                actual.update((e, a, b, t) for t in ts)
+        assert actual == expected
+        # (2) The D2 filter (the value the search consults) equals a
+        # fresh DCS on the same edge set.  D1 may differ on dangling
+        # root pairs (label-only True vs. never-computed absent), which
+        # is unobservable: D2 is False for those pairs either way.
+        fresh = DCS(engine.dag, graph)
+        fresh.apply(sorted(actual), [])
+        for u in range(query.num_vertices):
+            for v in graph.vertices():
+                assert engine.dcs.d2(u, v) == fresh.d2(u, v)
+                if engine.dcs.d2(u, v):
+                    assert engine.dcs.d1(u, v) and fresh.d1(u, v)
+
+
+@settings(max_examples=40, deadline=None)
+@given(query=temporal_queries(), stream=streams())
+def test_structure_sizes_never_negative(query, stream):
+    labels, edges, delta = stream
+    engine = TCMEngine(query, labels)
+    for event in build_event_list(edges, delta):
+        if event.is_arrival:
+            engine.on_edge_insert(event.edge)
+        else:
+            engine.on_edge_expire(event.edge)
+        assert engine.fwd.size() >= 0
+        assert engine.rev.size() >= 0
+        assert engine.dcs.num_edges() >= 0
+    # Fully drained stream: the window is empty again.
+    assert engine.graph.num_edges() == 0
+    assert engine.dcs.num_edges() == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(query=temporal_queries(), stream=streams())
+def test_pruned_and_unpruned_counts_agree(query, stream):
+    """The pruning rules must never change *how many* embeddings are
+    reported per event (a stricter check than multiset equality over
+    the whole run)."""
+    labels, edges, delta = stream
+    pruned = TCMEngine(query, labels, use_pruning=True)
+    plain = TCMEngine(query, labels, use_pruning=False)
+    for event in build_event_list(edges, delta):
+        if event.is_arrival:
+            a = pruned.on_edge_insert(event.edge)
+            b = plain.on_edge_insert(event.edge)
+        else:
+            a = pruned.on_edge_expire(event.edge)
+            b = plain.on_edge_expire(event.edge)
+        assert sorted(a) == sorted(b), event

@@ -1,0 +1,106 @@
+"""Tests for the brute-force oracle against the paper's Example II.1/II.2."""
+
+from repro.graph.temporal_graph import Edge
+from repro.oracle import OracleEngine, enumerate_embeddings
+from repro.streaming import StreamDriver, build_event_list
+from repro.streaming.match import Match
+from tests.paper_example import (
+    DATA_LABELS, EPS1, EPS2, EPS3, EPS4, EPS5, EPS6,
+    SIGMA, all_edges, make_graph, make_query,
+)
+
+
+def edge_images(match: Match) -> dict:
+    return {i: e for i, e in enumerate(match.edge_map)}
+
+
+class TestEnumerate:
+    def test_example_ii1_embeddings(self):
+        """Example II.1 names two time-constrained embeddings; on the
+        full graph the free choices are eps1 in {s1, s6}, eps2 in
+        {s4, s8} and eps5 in {s9, s10}, giving 8 in total.  The paper's
+        two must be among them."""
+        query = make_query()
+        graph = make_graph(14)
+        matches = sorted(enumerate_embeddings(query, graph))
+        assert len(matches) == 8
+        images = [edge_images(m) for m in matches]
+        paper_1 = {EPS1: SIGMA[1], EPS2: SIGMA[8], EPS3: SIGMA[11],
+                   EPS4: SIGMA[13], EPS5: SIGMA[10], EPS6: SIGMA[14]}
+        paper_2 = {**paper_1, EPS1: SIGMA[6]}
+        assert paper_1 in images
+        assert paper_2 in images
+        for img in images:
+            assert img[EPS1] in (SIGMA[1], SIGMA[6])
+            assert img[EPS2] in (SIGMA[4], SIGMA[8])
+            assert img[EPS5] in (SIGMA[9], SIGMA[10])
+            assert img[EPS3] == SIGMA[11]
+            assert img[EPS4] == SIGMA[13]
+            assert img[EPS6] == SIGMA[14]
+
+    def test_example_ii1_non_tc_embedding_rejected(self):
+        """The mapping using sigma_4/sigma_2 is an embedding but violates
+        eps2 < eps4, so it must not be enumerated."""
+        query = make_query()
+        graph = make_graph(14)
+        bad = {EPS1: SIGMA[1], EPS2: SIGMA[4], EPS3: SIGMA[11],
+               EPS4: SIGMA[2], EPS5: SIGMA[9], EPS6: SIGMA[5]}
+        for match in enumerate_embeddings(query, graph):
+            assert edge_images(match) != bad
+
+    def test_must_contain_restriction(self):
+        query = make_query()
+        graph = make_graph(14)
+        only_s6 = list(enumerate_embeddings(
+            query, graph, must_contain=SIGMA[6]))
+        assert len(only_s6) == 4
+        assert all(SIGMA[6] in m.edge_map for m in only_s6)
+
+    def test_all_enumerated_matches_valid(self):
+        query = make_query()
+        graph = make_graph(14)
+        for match in enumerate_embeddings(query, graph):
+            assert match.is_valid(query, graph)
+
+    def test_no_matches_on_empty_graph(self):
+        query = make_query()
+        graph = make_graph(3)
+        assert list(enumerate_embeddings(query, graph)) == []
+
+
+class TestOracleEngine:
+    def test_example_ii2_stream(self):
+        """Example II.2: with delta = 10, the embedding through sigma_6
+        occurs when sigma_14 arrives (sigma_1 has already expired), and
+        it expires when sigma_6 expires at t = 16."""
+        query = make_query()
+        engine = OracleEngine(query, DATA_LABELS)
+        driver = StreamDriver(engine)
+        result = driver.run_edges(all_edges(14), delta=10)
+
+        # Two embeddings occur at sigma_14 (eps5 free over s9/s10);
+        # eps1 can only be sigma_6 because sigma_1 expired at t = 11.
+        assert len(result.occurred) == 2
+        for event, match in result.occurred:
+            assert event.edge == SIGMA[14]
+            assert match.edge_map[EPS1] == SIGMA[6]
+            assert match.edge_map[EPS2] == SIGMA[8]
+
+        assert len(result.expired) == 2
+        for event, match in result.expired:
+            assert event.edge == SIGMA[6]
+            assert event.time == 16
+            assert match.edge_map[EPS1] == SIGMA[6]
+
+    def test_larger_window_catches_sigma1_embedding(self):
+        """With a window covering all timestamps both Example II.1
+        embeddings occur when sigma_14 arrives."""
+        query = make_query()
+        engine = OracleEngine(query, DATA_LABELS)
+        driver = StreamDriver(engine)
+        result = driver.run_edges(all_edges(14), delta=100)
+        assert len(result.occurred) == 8
+        assert all(ev.edge == SIGMA[14] for ev, _ in result.occurred)
+        # Every occurred embedding expires eventually, exactly once.
+        assert (result.occurrence_multiset()
+                == result.expiration_multiset())

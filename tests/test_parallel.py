@@ -1,0 +1,54 @@
+"""Tests for the parallel multi-query runner (future-work feature)."""
+
+import pytest
+
+from repro.bench.parallel import run_queries_parallel
+from repro.bench.runner import run_query
+from repro.datasets import DATASET_SPECS, generate_stream
+from repro.graph.temporal_graph import TemporalGraph
+from repro.workloads import make_query_set
+
+
+@pytest.fixture(scope="module")
+def workload():
+    stream = generate_stream(DATASET_SPECS["superuser"], 300, seed=5)
+    graph = TemporalGraph(labels=stream.labels)
+    for e in stream.edges:
+        graph.insert_edge(e)
+    instances = make_query_set(graph, size=4, count=4, density=0.5, seed=1)
+    return stream, [qi.query for qi in instances]
+
+
+def test_sequential_fallback_matches_direct(workload):
+    stream, queries = workload
+    parallel = run_queries_parallel(
+        "tcm", queries, stream.labels, stream.edges, delta=90,
+        time_limit=10.0, max_workers=1)
+    direct = [run_query("tcm", q, stream.labels, stream.edges, 90,
+                        time_limit=10.0) for q in queries]
+    assert [r.matches for r in parallel] == [r.matches for r in direct]
+    assert all(r.solved for r in parallel)
+
+
+def test_process_pool_same_results(workload):
+    stream, queries = workload
+    seq = run_queries_parallel(
+        "tcm", queries, stream.labels, stream.edges, delta=90,
+        time_limit=10.0, max_workers=1)
+    par = run_queries_parallel(
+        "tcm", queries, stream.labels, stream.edges, delta=90,
+        time_limit=10.0, max_workers=2)
+    assert [r.matches for r in par] == [r.matches for r in seq]
+    assert [r.engine for r in par] == ["tcm"] * len(queries)
+
+
+def test_parallel_other_engines(workload):
+    stream, queries = workload
+    for engine in ("symbi", "timing"):
+        par = run_queries_parallel(
+            engine, queries[:2], stream.labels, stream.edges, delta=90,
+            time_limit=10.0, max_workers=2)
+        tcm = run_queries_parallel(
+            "tcm", queries[:2], stream.labels, stream.edges, delta=90,
+            time_limit=10.0, max_workers=1)
+        assert [r.matches for r in par] == [r.matches for r in tcm]

@@ -1,0 +1,75 @@
+"""Unit tests for strict partial orders."""
+
+import pytest
+
+from repro.query import PartialOrder, PartialOrderError
+
+
+class TestConstruction:
+    def test_empty_order(self):
+        po = PartialOrder(3)
+        assert po.pairs() == []
+        assert po.density() == 0.0
+
+    def test_transitive_closure(self):
+        po = PartialOrder(3, [(0, 1), (1, 2)])
+        assert po.precedes(0, 2)
+        assert po.pairs() == [(0, 1), (0, 2), (1, 2)]
+
+    def test_cycle_rejected(self):
+        with pytest.raises(PartialOrderError):
+            PartialOrder(3, [(0, 1), (1, 2), (2, 0)])
+
+    def test_reflexive_pair_rejected(self):
+        with pytest.raises(PartialOrderError):
+            PartialOrder(2, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PartialOrderError):
+            PartialOrder(2, [(0, 5)])
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            PartialOrder(-1)
+
+
+class TestQueries:
+    def test_precedes_and_related(self):
+        po = PartialOrder(4, [(0, 1), (2, 3)])
+        assert po.precedes(0, 1)
+        assert not po.precedes(1, 0)
+        assert po.related(1, 0)
+        assert not po.related(0, 2)
+
+    def test_successors_predecessors(self):
+        po = PartialOrder(3, [(0, 1), (1, 2)])
+        assert po.successors(0) == {1, 2}
+        assert po.predecessors(2) == {0, 1}
+        assert po.related_to(1) == {0, 2}
+
+    def test_density_total_order(self):
+        po = PartialOrder(4, [(0, 1), (1, 2), (2, 3)])
+        assert po.density() == 1.0
+
+    def test_density_half(self):
+        po = PartialOrder(4, [(0, 1), (0, 2), (0, 3)])
+        assert po.density() == pytest.approx(0.5)
+
+    def test_density_small_n(self):
+        assert PartialOrder(1).density() == 0.0
+        assert PartialOrder(0).density() == 0.0
+
+    def test_is_consistent(self):
+        po = PartialOrder(3, [(0, 1), (1, 2)])
+        assert po.is_consistent([1, 5, 9])
+        assert not po.is_consistent([5, 1, 9])
+        assert not po.is_consistent([1, 5, 5])
+
+    def test_is_consistent_unrelated_any_order(self):
+        po = PartialOrder(2)
+        assert po.is_consistent([9, 1])
+
+    def test_equality(self):
+        assert PartialOrder(3, [(0, 1), (1, 2)]) == PartialOrder(
+            3, [(0, 1), (1, 2), (0, 2)])
+        assert PartialOrder(2) != PartialOrder(2, [(0, 1)])

@@ -1,0 +1,125 @@
+"""Property-based cross-validation: every engine must match the oracle.
+
+Random small temporal queries and random small edge streams are generated
+with hypothesis; the delta of occurring/expiring time-constrained
+embeddings reported by each optimized engine must equal the brute-force
+oracle's, event by event in the aggregate multiset.
+
+Labels are drawn from a deliberately tiny alphabet and the data-vertex
+pool is small, so parallel edges, label collisions and injectivity
+conflicts — the places where pruning bugs hide — occur constantly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tcm import TCMEngine
+from repro.graph.temporal_graph import Edge
+from repro.oracle import OracleEngine
+from repro.query import TemporalQuery
+from repro.streaming import StreamDriver
+
+LABELS = ["X", "Y"]
+
+
+@st.composite
+def temporal_queries(draw) -> TemporalQuery:
+    """A random connected simple query with a random temporal order."""
+    n = draw(st.integers(min_value=2, max_value=4))
+    labels = [draw(st.sampled_from(LABELS)) for _ in range(n)]
+    edges: List[Tuple[int, int]] = []
+    for v in range(1, n):
+        u = draw(st.integers(min_value=0, max_value=v - 1))
+        edges.append((u, v))
+    extra_pool = [(u, v) for u in range(n) for v in range(u + 1, n)
+                  if (u, v) not in edges]
+    if extra_pool:
+        extras = draw(st.lists(st.sampled_from(extra_pool), unique=True,
+                               max_size=2))
+        edges.extend(extras)
+    m = len(edges)
+    # Random temporal order: sample pairs consistent with a random
+    # permutation of the edges so the relation is acyclic by design.
+    perm = draw(st.permutations(list(range(m))))
+    rank = {e: i for i, e in enumerate(perm)}
+    pairs = []
+    for i in range(m):
+        for j in range(m):
+            if rank[i] < rank[j] and draw(st.booleans()):
+                pairs.append((i, j))
+    return TemporalQuery(labels, edges, pairs)
+
+
+@st.composite
+def streams(draw) -> Tuple[dict, List[Edge], int]:
+    """A random labelled edge stream plus a window size."""
+    n_vertices = draw(st.integers(min_value=2, max_value=5))
+    vertex_labels = {v: draw(st.sampled_from(LABELS))
+                     for v in range(n_vertices)}
+    m = draw(st.integers(min_value=1, max_value=12))
+    edges = []
+    for t in range(1, m + 1):
+        u = draw(st.integers(min_value=0, max_value=n_vertices - 1))
+        v = draw(st.integers(min_value=0, max_value=n_vertices - 1))
+        if u == v:
+            v = (v + 1) % n_vertices
+        edges.append(Edge.make(u, v, t))
+    delta = draw(st.integers(min_value=2, max_value=8))
+    return vertex_labels, edges, delta
+
+
+def run_engine(engine, edges, delta):
+    driver = StreamDriver(engine)
+    result = driver.run_edges(edges, delta)
+    return result.occurrence_multiset(), result.expiration_multiset()
+
+
+@settings(max_examples=120, deadline=None)
+@given(query=temporal_queries(), stream=streams())
+def test_tcm_matches_oracle(query, stream):
+    labels, edges, delta = stream
+    oracle = run_engine(OracleEngine(query, labels), edges, delta)
+    tcm = run_engine(TCMEngine(query, labels), edges, delta)
+    assert tcm == oracle
+
+
+@settings(max_examples=60, deadline=None)
+@given(query=temporal_queries(), stream=streams())
+def test_tcm_without_pruning_matches_oracle(query, stream):
+    labels, edges, delta = stream
+    oracle = run_engine(OracleEngine(query, labels), edges, delta)
+    variant = run_engine(
+        TCMEngine(query, labels, use_pruning=False), edges, delta)
+    assert variant == oracle
+
+
+@settings(max_examples=60, deadline=None)
+@given(query=temporal_queries(), stream=streams())
+def test_tcm_without_filter_matches_oracle(query, stream):
+    labels, edges, delta = stream
+    oracle = run_engine(OracleEngine(query, labels), edges, delta)
+    variant = run_engine(
+        TCMEngine(query, labels, use_tc_filter=False), edges, delta)
+    assert variant == oracle
+
+
+@settings(max_examples=60, deadline=None)
+@given(query=temporal_queries(), stream=streams())
+def test_every_tcm_match_is_valid_when_reported(query, stream):
+    labels, edges, delta = stream
+    engine = TCMEngine(query, labels)
+    from repro.streaming.events import build_event_list
+    for event in build_event_list(edges, delta):
+        if event.is_arrival:
+            matches = engine.on_edge_insert(event.edge)
+            for match in matches:
+                assert match.is_valid(query, engine.graph)
+                assert event.edge in match.edge_map
+        else:
+            matches = engine.on_edge_expire(event.edge)
+            for match in matches:
+                assert event.edge in match.edge_map

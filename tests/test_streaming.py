@@ -1,0 +1,129 @@
+"""Tests for events, the stream driver, and the Match representation."""
+
+import pytest
+
+from repro.graph.temporal_graph import Edge, TemporalGraph
+from repro.oracle import OracleEngine
+from repro.query import TemporalQuery
+from repro.streaming import (
+    Event, EventKind, Match, StreamDriver, build_event_list,
+)
+from tests.paper_example import DATA_LABELS, SIGMA, all_edges, make_query
+
+
+class TestEventList:
+    def test_every_edge_gets_two_events(self):
+        events = build_event_list(all_edges(14), delta=10)
+        assert len(events) == 28
+        arrivals = [e for e in events if e.is_arrival]
+        expirations = [e for e in events if not e.is_arrival]
+        assert len(arrivals) == len(expirations) == 14
+
+    def test_expiration_time_is_t_plus_delta(self):
+        events = build_event_list([Edge.make(1, 2, 5)], delta=10)
+        assert events[0] == Event(Edge.make(1, 2, 5), 5, EventKind.ARRIVAL)
+        assert events[1] == Event(Edge.make(1, 2, 5), 15,
+                                  EventKind.EXPIRATION)
+
+    def test_expirations_before_arrivals_at_same_time(self):
+        """sigma_4 (t=4, delta=10) must expire before sigma_14 arrives:
+        the window (t - delta, t] excludes timestamp t - delta."""
+        events = build_event_list(all_edges(14), delta=10)
+        at_14 = [e for e in events if e.time == 14]
+        assert at_14[0].kind is EventKind.EXPIRATION
+        assert at_14[0].edge == SIGMA[4]
+        assert at_14[-1].kind is EventKind.ARRIVAL
+        assert at_14[-1].edge == SIGMA[14]
+
+    def test_chronological(self):
+        events = build_event_list(all_edges(14), delta=3)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            build_event_list(all_edges(3), delta=0)
+
+
+class TestStreamDriver:
+    def test_time_limit_marks_timeout(self):
+        query = make_query()
+        engine = OracleEngine(query, DATA_LABELS)
+        driver = StreamDriver(engine, time_limit=0.0)
+        result = driver.run_edges(all_edges(14), delta=10)
+        assert result.timed_out
+        assert result.events_processed < 28
+
+    def test_no_limit_processes_everything(self):
+        query = make_query()
+        engine = OracleEngine(query, DATA_LABELS)
+        result = StreamDriver(engine).run_edges(all_edges(14), delta=10)
+        assert not result.timed_out
+        assert result.events_processed == 28
+
+    def test_occurrences_equal_expirations_when_drained(self):
+        """Every embedding that occurs also expires (the event list
+        contains the expiration of every edge)."""
+        query = make_query()
+        engine = OracleEngine(query, DATA_LABELS)
+        result = StreamDriver(engine).run_edges(all_edges(14), delta=7)
+        assert (result.occurrence_multiset()
+                == result.expiration_multiset())
+
+
+class TestMatch:
+    def make_valid(self):
+        query = make_query()
+        graph = TemporalGraph(labels=DATA_LABELS)
+        for i in range(1, 15):
+            graph.insert_edge(SIGMA[i])
+        match = Match(
+            vertex_map=(1, 2, 4, 5, 7),
+            edge_map=(SIGMA[1], SIGMA[8], SIGMA[11], SIGMA[13],
+                      SIGMA[10], SIGMA[14]),
+        )
+        return query, graph, match
+
+    def test_paper_embedding_valid(self):
+        query, graph, match = self.make_valid()
+        assert match.is_valid(query, graph)
+
+    def test_contains_edge(self):
+        _, _, match = self.make_valid()
+        assert match.contains_edge(SIGMA[8])
+        assert not match.contains_edge(SIGMA[4])
+
+    def test_timestamps(self):
+        _, _, match = self.make_valid()
+        assert match.timestamps() == (1, 8, 11, 13, 10, 14)
+
+    def test_invalid_on_order_violation(self):
+        query, graph, match = self.make_valid()
+        bad = Match(match.vertex_map,
+                    (SIGMA[1], SIGMA[4], SIGMA[11], SIGMA[2],
+                     SIGMA[9], SIGMA[5]))
+        assert not bad.is_valid(query, graph)
+
+    def test_invalid_on_duplicate_vertex(self):
+        query, graph, match = self.make_valid()
+        bad = Match((1, 2, 4, 5, 5), match.edge_map)
+        assert not bad.is_valid(query, graph)
+
+    def test_invalid_on_missing_edge(self):
+        query, graph, match = self.make_valid()
+        graph.remove_edge(SIGMA[8])
+        assert not match.is_valid(query, graph)
+
+    def test_invalid_on_label_mismatch(self):
+        query, graph, match = self.make_valid()
+        bad = Match((2, 1, 4, 5, 7), match.edge_map)
+        assert not bad.is_valid(query, graph)
+
+    def test_from_dicts_roundtrip(self):
+        query, _, match = self.make_valid()
+        rebuilt = Match.from_dicts(
+            query,
+            {u: v for u, v in enumerate(match.vertex_map)},
+            {e: img for e, img in enumerate(match.edge_map)},
+        )
+        assert rebuilt == match

@@ -1,0 +1,84 @@
+"""End-to-end tests for the TCM engine on the paper's running example,
+plus cross-validation against the brute-force oracle."""
+
+import pytest
+
+from repro.core.tcm import TCMEngine
+from repro.oracle import OracleEngine
+from repro.streaming import StreamDriver
+from tests.paper_example import (
+    DATA_LABELS, EPS1, SIGMA, all_edges, make_query,
+)
+
+
+def run(engine_cls_kwargs, delta, edges=None):
+    query = make_query()
+    engine = TCMEngine(query, DATA_LABELS, **engine_cls_kwargs)
+    driver = StreamDriver(engine)
+    return driver.run_edges(edges or all_edges(14), delta=delta), engine
+
+
+@pytest.mark.parametrize("kwargs", [
+    {},                                         # full TCM
+    {"use_pruning": False},                     # TCM-Pruning ablation
+    {"use_tc_filter": False},                   # filtering ablation
+    {"use_tc_filter": False, "use_pruning": False},
+])
+class TestAgainstOracle:
+    def check(self, kwargs, delta):
+        query = make_query()
+        oracle = StreamDriver(OracleEngine(query, DATA_LABELS)).run_edges(
+            all_edges(14), delta=delta)
+        result, _ = run(kwargs, delta)
+        assert result.occurrence_multiset() == oracle.occurrence_multiset()
+        assert result.expiration_multiset() == oracle.expiration_multiset()
+
+    def test_window_10(self, kwargs):
+        self.check(kwargs, 10)
+
+    def test_window_5(self, kwargs):
+        self.check(kwargs, 5)
+
+    def test_window_100(self, kwargs):
+        self.check(kwargs, 100)
+
+    def test_window_3(self, kwargs):
+        self.check(kwargs, 3)
+
+
+class TestExampleII2:
+    def test_paper_delta_10(self):
+        result, _ = run({}, 10)
+        assert len(result.occurred) == 2
+        for event, match in result.occurred:
+            assert event.edge == SIGMA[14]
+            assert match.edge_map[EPS1] == SIGMA[6]
+        assert len(result.expired) == 2
+        assert all(ev.edge == SIGMA[6] for ev, _ in result.expired)
+
+    def test_matches_are_valid(self):
+        query = make_query()
+        engine = TCMEngine(query, DATA_LABELS)
+        for edge in all_edges(14):
+            for match in engine.on_edge_insert(edge):
+                # Validity against the engine's own window graph.
+                assert match.is_valid(query, engine.graph)
+
+
+class TestStats:
+    def test_stats_populated(self):
+        result, engine = run({}, 10)
+        assert engine.stats.matches_emitted == 4  # 2 occur + 2 expire
+        assert engine.stats.backtrack_nodes > 0
+        assert engine.stats.peak_structure_entries > 0
+        assert engine.stats.extra["events"] == result.events_processed
+
+    def test_filtering_reduces_dcs_edges(self):
+        """The TC filter must keep at most as many DCS edges as the
+        unfiltered variant (Table V's ratio is <= 1)."""
+        _, filtered = run({}, 10)
+        _, unfiltered = run({"use_tc_filter": False}, 10)
+        assert (filtered.stats.extra["dcs_edges_sum"]
+                <= unfiltered.stats.extra["dcs_edges_sum"])
+        assert (filtered.stats.extra["dcs_vertices_sum"]
+                <= unfiltered.stats.extra["dcs_vertices_sum"])

@@ -1,0 +1,82 @@
+"""Unit tests for temporal query graphs."""
+
+import pytest
+
+from repro.query import TemporalQuery
+from tests.paper_example import (
+    EPS1, EPS2, EPS3, EPS4, EPS5, EPS6, make_query,
+)
+
+
+class TestValidation:
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            TemporalQuery(["A", "B"], [(0, 0)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(ValueError):
+            TemporalQuery(["A", "B"], [(0, 1), (1, 0)])
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            TemporalQuery(["A", "B"], [(0, 5)])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            TemporalQuery(["A", "B", "C", "D"], [(0, 1), (2, 3)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TemporalQuery([], [])
+
+
+class TestStructure:
+    def test_paper_query_shape(self):
+        q = make_query()
+        assert q.num_vertices == 5
+        assert q.num_edges == 6
+        assert q.degree(2) == 3  # u3 touches eps2, eps4, eps6
+        assert sorted(q.neighbors(0)) == [1, 2]
+
+    def test_edge_between(self):
+        q = make_query()
+        assert q.edge_between(0, 1).index == EPS1
+        assert q.edge_between(1, 0).index == EPS1
+        assert q.edge_between(1, 2) is None
+
+    def test_incident_edges(self):
+        q = make_query()
+        assert {e.index for e in q.incident_edges(3)} == {EPS3, EPS4, EPS5}
+
+    def test_endpoints_normalized(self):
+        q = TemporalQuery(["A", "B"], [(1, 0)])
+        assert q.edges[0].u == 0
+        assert q.edges[0].v == 1
+
+
+class TestTemporalOrder:
+    def test_paper_order_closure(self):
+        q = make_query()
+        assert q.precedes(EPS2, EPS6)
+        assert q.precedes(EPS4, EPS6)
+        # eps2 < eps4 < eps6 implies eps2 < eps6 is already a generator;
+        # the closure adds nothing new here but must keep asymmetry.
+        assert not q.precedes(EPS6, EPS2)
+
+    def test_related_sets(self):
+        q = make_query()
+        assert q.related_to(EPS1) == {EPS3, EPS5}
+        assert q.related_to(EPS6) == {EPS2, EPS4}
+        assert q.related(EPS2, EPS5)
+        assert not q.related(EPS3, EPS4)
+
+    def test_density(self):
+        q = make_query()
+        assert q.density() == pytest.approx(6 / 15)
+
+    def test_query_edge_other(self):
+        q = make_query()
+        edge = q.edges[EPS4]
+        assert edge.other(edge.u) == edge.v
+        with pytest.raises(ValueError):
+            edge.other(99)
