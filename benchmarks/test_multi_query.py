@@ -1,0 +1,51 @@
+"""Multi-query service scaling: throughput vs registered queries.
+
+Beyond the paper's single-query evaluation, this benchmark measures the
+deployment scenario of the `repro.service` subsystem: one shared stream
+fanned out to a growing number of concurrently registered queries, for
+TCM and the baselines.  Ideal scaling halves throughput when the query
+count doubles; super-linear degradation exposes per-query overheads in
+the fan-out path.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    MultiQueryConfig, format_scaling, multi_query_scaling,
+)
+
+from benchmarks.conftest import write_result
+
+QUERY_COUNTS = (1, 2, 4, 8)
+ENGINES = ("tcm", "symbi", "timing")
+
+
+def test_multi_query_scaling():
+    config = MultiQueryConfig(
+        dataset="superuser",
+        stream_edges=600,
+        batch_size=100,
+        query_sizes=(3, 4),
+        density=0.5,
+        window_fraction=0.3,
+        seed=0,
+    )
+    runs = multi_query_scaling(ENGINES, QUERY_COUNTS, config)
+
+    assert len(runs) == len(ENGINES) * len(QUERY_COUNTS)
+    for run in runs:
+        assert run.errored_queries == 0
+        assert run.edges_ingested == config.stream_edges
+        assert run.num_queries in QUERY_COUNTS
+        assert run.throughput_eps > 0
+
+    # Same stream, same workload prefix: a wider fan-out can only add
+    # matches, never lose them.
+    for engine in ENGINES:
+        by_count = {r.num_queries: r for r in runs if r.engine == engine}
+        counts = sorted(by_count)
+        for small, large in zip(counts, counts[1:]):
+            assert (by_count[large].occurred
+                    >= by_count[small].occurred)
+
+    write_result("multi_query_scaling.txt", format_scaling(runs))

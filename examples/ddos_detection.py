@@ -6,16 +6,19 @@ pattern: an attacker commands several zombies (at times t_{i,1}), after
 which each zombie hits the victim (t_{i,2} with t_{i,1} < t_{i,2}).
 This example builds that query for two zombies, synthesizes background
 traffic with an embedded attack, and shows that TCM pinpoints exactly
-the attack — while a continuous matcher without temporal constraints
-(the SymBi baseline run with an empty order) would also accept benign
-"victim talked to zombie first" patterns.
+the attack — while the same topology without temporal constraints would
+also accept benign "victim talked to zombie first" patterns.
+
+Both detection queries are hosted on one :class:`~repro.service.
+MatchService` — the deployment model for continuous detection: one
+shared windowed stream, many registered queries, live alert callbacks.
 
 Run:  python examples/ddos_detection.py
 """
 
 import random
 
-from repro import Edge, StreamDriver, TCMEngine, TemporalQuery
+from repro import Edge, MatchService, TemporalQuery
 
 ATTACKER, ZOMBIE1, ZOMBIE2, VICTIM = "atk", "zom", "zom", "vic"
 
@@ -76,29 +79,40 @@ emit(3, 19)         # zombie 3 hits the victim
 emit(5, 19)         # zombie 5 hits the victim
 
 # ----------------------------------------------------------------------
-# Run both engines.
+# Host both queries on one service over the shared window and stream.
+# The ordered query raises live alerts through its subscriber.
 # ----------------------------------------------------------------------
 delta = 200
+service = MatchService(delta)
 
-tcm = TCMEngine(query, labels)
-with_order = StreamDriver(tcm).run_edges(stream, delta=delta)
+alerts = []
+service.register(query, labels, "tcm", query_id="ddos-ordered",
+                 subscriber=lambda n: n.occurred and alerts.append(n))
+service.register(query_no_order, labels, "tcm", query_id="ddos-any-time")
 
-unordered = StreamDriver(TCMEngine(query_no_order, labels)).run_edges(
-    stream, delta=delta)
+# A real deployment feeds batches as packets arrive; replay in chunks.
+for lo in range(0, len(stream), 25):
+    service.ingest(stream[lo:lo + 25])
+service.drain()
 
-print(f"stream: {len(stream)} edges, window {delta}")
-print(f"\ntime-constrained DDoS pattern: "
-      f"{len(with_order.occurred)} occurrence(s)")
-for event, match in with_order.occurred:
-    atk, z1, z2, vic = match.vertex_map
-    print(f"  t={event.time}: attacker={atk} zombies=({z1},{z2}) "
+print(f"stream: {len(stream)} edges, window {delta}, "
+      f"{len(service.registry)} registered queries")
+
+ordered = service.query_stats("ddos-ordered")
+unordered = service.query_stats("ddos-any-time")
+
+print(f"\ntime-constrained DDoS pattern: {ordered.occurred} occurrence(s)")
+for alert in alerts:
+    atk, z1, z2, vic = alert.match.vertex_map
+    print(f"  t={alert.event.time}: attacker={atk} zombies=({z1},{z2}) "
           f"victim={vic}")
 
 print(f"\nsame topology without temporal order: "
-      f"{len(unordered.occurred)} occurrence(s) "
+      f"{unordered.occurred} occurrence(s) "
       f"(includes benign victim-initiated contacts)")
 
-assert len(with_order.occurred) < len(unordered.occurred), (
+assert ordered.occurred == len(alerts), "every occurrence must alert"
+assert ordered.occurred < unordered.occurred, (
     "the temporal order should rule out benign matches")
 print("\n=> the temporal order isolates the real command-then-strike "
       "attack.")

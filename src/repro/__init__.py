@@ -23,6 +23,10 @@ from repro.streaming import (
 )
 from repro.core import QueryDag, TCMEngine, build_best_dag, build_dag
 from repro.oracle import OracleEngine, enumerate_embeddings
+from repro.service import (
+    MatchNotification, MatchService, QueryRegistry, load_checkpoint,
+    save_checkpoint,
+)
 
 __version__ = "1.0.0"
 
@@ -33,5 +37,7 @@ __all__ = [
     "StreamDriver", "StreamResult", "build_event_list",
     "QueryDag", "TCMEngine", "build_best_dag", "build_dag",
     "OracleEngine", "enumerate_embeddings",
+    "MatchNotification", "MatchService", "QueryRegistry",
+    "load_checkpoint", "save_checkpoint",
     "__version__",
 ]

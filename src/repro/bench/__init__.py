@@ -9,6 +9,10 @@ from repro.bench.experiments import (
     window_sweep,
 )
 from repro.bench.report import format_cells, format_table3, format_table5
+from repro.bench.multi import (
+    MultiQueryConfig, MultiQueryRun, build_service, format_multi_run,
+    format_scaling, multi_query_scaling, run_multi_query,
+)
 
 __all__ = [
     "ENGINE_FACTORIES", "QueryResult", "engine_names", "make_engine",
@@ -17,4 +21,7 @@ __all__ = [
     "density_sweep", "filtering_power_table", "memory_sweep",
     "query_size_sweep", "window_sweep",
     "format_cells", "format_table3", "format_table5",
+    "MultiQueryConfig", "MultiQueryRun", "build_service",
+    "format_multi_run", "format_scaling", "multi_query_scaling",
+    "run_multi_query",
 ]

@@ -1,0 +1,217 @@
+"""Multi-query service harness: batched runs and scaling sweeps.
+
+The single-query benchmarks (:mod:`repro.bench.runner`) answer "how fast
+is one engine on one query"; this module answers the deployment
+question: how does throughput degrade as a service hosts more and more
+concurrent queries over the same stream?  ``run_multi_query`` drives one
+:class:`~repro.service.MatchService` over one generated stream in
+batches; ``multi_query_scaling`` sweeps the number of registered queries
+per engine kind.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datasets import DATASET_SPECS, generate_stream
+from repro.graph.temporal_graph import TemporalGraph
+from repro.service import MatchService, QueryStats
+from repro.workloads import make_mixed_query_set
+
+
+@dataclass
+class MultiQueryConfig:
+    """Scale knobs for one multi-query service run."""
+
+    dataset: str = "superuser"
+    stream_edges: int = 1000
+    num_queries: int = 4
+    batch_size: int = 100
+    query_sizes: Sequence[int] = (3, 4, 5)
+    density: float = 0.5
+    window_fraction: float = 0.3
+    seed: int = 0
+
+    @property
+    def delta(self) -> int:
+        return max(2, int(self.stream_edges * self.window_fraction))
+
+
+@dataclass
+class MultiQueryRun:
+    """Outcome of one service run: totals plus per-query counters."""
+
+    dataset: str
+    engine: str
+    num_queries: int          # actually registered (see requested_queries)
+    requested_queries: int
+    batch_size: int
+    edges_ingested: int
+    batches: int
+    elapsed_seconds: float
+    throughput_eps: float
+    occurred: int
+    expired: int
+    errored_queries: int
+    per_query: List[QueryStats] = field(default_factory=list)
+
+
+def dataset_workload(config: MultiQueryConfig) -> Tuple[object,
+                                                        TemporalGraph]:
+    """The generated stream for ``config`` plus its full data graph
+    (the query workload is random-walked on the latter)."""
+    stream = generate_stream(DATASET_SPECS[config.dataset],
+                             config.stream_edges, seed=config.seed)
+    graph = TemporalGraph(labels=stream.labels, directed=stream.directed)
+    elabels = stream.edge_labels or {}
+    for e in stream.edges:
+        graph.insert_edge(e, label=elabels.get(e))
+    return stream, graph
+
+
+def build_service(config: MultiQueryConfig, engine: str = "tcm",
+                  stream=None, graph: Optional[TemporalGraph] = None):
+    """Generate the stream and a registered service for ``config``.
+
+    Returns ``(service, stream)``; all ``config.num_queries`` queries
+    are registered up front with mixed sizes and engine kind
+    ``engine``.  Separated from :func:`run_multi_query` so callers (the
+    CLI's checkpoint demo, tests) can drive ingestion themselves.
+    ``stream``/``graph`` optionally reuse an already-generated workload
+    (the scaling sweep replays one stream across every cell).
+    """
+    if stream is None or graph is None:
+        stream, graph = dataset_workload(config)
+    instances = make_mixed_query_set(
+        graph, config.num_queries, sizes=tuple(config.query_sizes),
+        density=config.density, seed=config.seed)
+    if len(instances) < config.num_queries:
+        print(f"warning: only {len(instances)} of {config.num_queries} "
+              f"requested queries could be generated on "
+              f"{config.dataset!r} (random walks kept failing)",
+              file=sys.stderr)
+    service = MatchService(config.delta)
+    for instance in instances:
+        service.register(instance.query, stream.labels, engine,
+                         edge_label_fn=stream.edge_label_fn(),
+                         collect_results=False)
+    return service, stream
+
+
+def run_multi_query(config: Optional[MultiQueryConfig] = None,
+                    engine: str = "tcm",
+                    checkpoint_path: Optional[str] = None,
+                    stream=None,
+                    graph: Optional[TemporalGraph] = None) -> MultiQueryRun:
+    """Drive a freshly built service over its stream in batches.
+
+    ``checkpoint_path`` optionally saves a JSON snapshot of the final
+    service state (after the stream is drained).  ``stream``/``graph``
+    reuse a pre-generated workload (see :func:`build_service`).
+    """
+    config = config or MultiQueryConfig()
+    service, stream = build_service(config, engine, stream, graph)
+    if checkpoint_path is not None and stream.edge_labels is not None:
+        # The per-run edge-label dict lives only in this process; a
+        # checkpoint of these queries could never be restored (restore
+        # requires a replacement edge_label_fn).  Fail before running.
+        raise ValueError(
+            f"dataset {config.dataset!r} attaches per-edge labels, whose "
+            f"in-memory mapping a JSON checkpoint cannot persist; "
+            f"--checkpoint is only supported for vertex-labeled datasets")
+    edges = stream.edges
+    step = max(1, config.batch_size)
+    for lo in range(0, len(edges), step):
+        service.ingest(edges[lo:lo + step])
+    service.drain()
+    if checkpoint_path is not None:
+        from repro.service.checkpoint import save_checkpoint
+        save_checkpoint(service, checkpoint_path)
+    per_query = [entry.stats for entry in service.registry.list()]
+    return MultiQueryRun(
+        dataset=config.dataset,
+        engine=engine,
+        num_queries=len(per_query),
+        requested_queries=config.num_queries,
+        batch_size=step,
+        edges_ingested=service.stats.edges_ingested,
+        batches=service.stats.batches,
+        elapsed_seconds=service.stats.elapsed_seconds,
+        throughput_eps=service.stats.throughput_eps,
+        occurred=sum(s.occurred for s in per_query),
+        expired=sum(s.expired for s in per_query),
+        errored_queries=service.stats.errored_queries,
+        per_query=per_query,
+    )
+
+
+def multi_query_scaling(engines: Sequence[str],
+                        query_counts: Sequence[int],
+                        config: Optional[MultiQueryConfig] = None
+                        ) -> List[MultiQueryRun]:
+    """Throughput vs number of registered queries, per engine kind.
+
+    Every run replays the same stream with the same query workload
+    prefix, so the only varying factor is the fan-out width.
+    """
+    base = config or MultiQueryConfig()
+    # One stream and data graph serve every cell: generation is outside
+    # the timed ingest region, so rebuilding it per cell only wastes
+    # sweep wall-clock.
+    stream, graph = dataset_workload(base)
+    runs: List[MultiQueryRun] = []
+    for engine in engines:
+        for count in query_counts:
+            runs.append(run_multi_query(replace(base, num_queries=count),
+                                        engine, stream=stream,
+                                        graph=graph))
+    return runs
+
+
+def format_multi_run(run: MultiQueryRun) -> str:
+    """Render one run as the service summary table the CLI prints."""
+    lines = [
+        f"service run: dataset={run.dataset} engine={run.engine} "
+        f"queries={run.num_queries} batch={run.batch_size}",
+        f"  {run.edges_ingested} edges in {run.batches} batches, "
+        f"{run.elapsed_seconds * 1000.0:.1f} ms "
+        f"({run.throughput_eps:.0f} edges/s), "
+        f"{run.occurred} occurrences / {run.expired} expirations, "
+        f"{run.errored_queries} errored",
+        f"  {'query':<8}{'engine':<12}{'events':>8}{'occ':>7}"
+        f"{'exp':>7}{'ms':>9}{'peak':>7}",
+    ]
+    for s in run.per_query:
+        lines.append(
+            f"  {s.query_id:<8}{s.engine:<12}{s.events_processed:>8}"
+            f"{s.occurred:>7}{s.expired:>7}"
+            f"{s.elapsed_seconds * 1000.0:>9.1f}"
+            f"{s.peak_structure_entries:>7}")
+    return "\n".join(lines)
+
+
+def format_scaling(runs: Sequence[MultiQueryRun]) -> str:
+    """Render a scaling sweep as a throughput table (engines x counts).
+
+    Columns key on the *requested* query count so that two cells whose
+    generation fell short of different targets cannot collapse into
+    one.
+    """
+    counts = sorted({r.requested_queries for r in runs})
+    by_key: Dict[object, MultiQueryRun] = {
+        (r.engine, r.requested_queries): r for r in runs}
+    engines = list(dict.fromkeys(r.engine for r in runs))
+    header = "edges/s by #queries"
+    lines = [header,
+             "  " + f"{'engine':<12}"
+             + "".join(f"{c:>10}" for c in counts)]
+    for engine in engines:
+        cells = []
+        for c in counts:
+            run = by_key.get((engine, c))
+            cells.append(f"{run.throughput_eps:>10.0f}" if run else
+                         f"{'-':>10}")
+        lines.append("  " + f"{engine:<12}" + "".join(cells))
+    return "\n".join(lines)

@@ -9,10 +9,15 @@ Usage::
     python -m repro.cli fig10
     python -m repro.cli fig11
     python -m repro.cli table5
+    python -m repro.cli multi --queries 8 --batch-size 100
 
-Every subcommand regenerates the corresponding figure/table of the
-paper's Section VI at the configured scale and prints the rendered
-rows/series.
+The figure/table subcommands regenerate the corresponding evaluation
+artifact of the paper's Section VI at the configured scale and print
+the rendered rows/series.  ``multi`` instead drives the multi-query
+:class:`~repro.service.MatchService`: it registers N mixed-size queries
+over one generated stream, ingests the stream in batches, and prints
+the per-query and service-level counters (optionally saving a JSON
+checkpoint of the final service state).
 """
 
 from __future__ import annotations
@@ -22,10 +27,13 @@ import sys
 from typing import List, Optional
 
 from repro.bench import (
-    ExperimentConfig, ablation_sweep, dataset_table, density_sweep,
-    engine_names, filtering_power_table, format_cells, format_table3,
-    format_table5, memory_sweep, query_size_sweep, window_sweep,
+    ExperimentConfig, MultiQueryConfig, ablation_sweep, dataset_table,
+    density_sweep, engine_names, filtering_power_table, format_cells,
+    format_multi_run, format_scaling, format_table3, format_table5,
+    memory_sweep, multi_query_scaling, query_size_sweep, run_multi_query,
+    window_sweep,
 )
+from repro.datasets import dataset_names
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,6 +85,35 @@ def build_parser() -> argparse.ArgumentParser:
     p3 = sub.add_parser("table3", help="dataset characteristics")
     p3.add_argument("--stream-edges", type=int, default=3000)
     p3.add_argument("--seed", type=int, default=0)
+
+    pm = sub.add_parser(
+        "multi", help="drive the multi-query matching service")
+    pm.add_argument("--dataset", default="superuser",
+                    choices=dataset_names(),
+                    help="dataset stand-in generating the shared stream")
+    pm.add_argument("--stream-edges", type=int, default=1000,
+                    help="edges in the generated stream")
+    pm.add_argument("--queries", type=int, default=4,
+                    help="number of concurrently registered queries")
+    pm.add_argument("--batch-size", type=int, default=100,
+                    help="edges per ingest batch")
+    pm.add_argument("--engine", default="tcm", choices=engine_names(),
+                    help="engine kind for every query")
+    pm.add_argument("--query-sizes", nargs="+", type=int,
+                    default=[3, 4, 5],
+                    help="query sizes cycled over the registrations")
+    pm.add_argument("--density", type=float, default=0.5,
+                    help="temporal-order density of generated queries")
+    pm.add_argument("--window-fraction", type=float, default=0.3,
+                    help="window size as a fraction of the stream")
+    pm.add_argument("--seed", type=int, default=0)
+    pm.add_argument("--scaling", nargs="+", type=int, default=None,
+                    metavar="N",
+                    help="instead of one run, sweep these query counts "
+                         "and print throughput vs fan-out width")
+    pm.add_argument("--checkpoint", default=None, metavar="PATH",
+                    help="save a JSON checkpoint of the final service "
+                         "state to PATH")
     return parser
 
 
@@ -100,6 +137,37 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if command == "table3":
         print(format_table3(dataset_table(args.stream_edges, args.seed)))
+        return 0
+
+    if command == "multi":
+        mconfig = MultiQueryConfig(
+            dataset=args.dataset,
+            stream_edges=args.stream_edges,
+            num_queries=args.queries,
+            batch_size=args.batch_size,
+            query_sizes=tuple(args.query_sizes),
+            density=args.density,
+            window_fraction=args.window_fraction,
+            seed=args.seed,
+        )
+        try:
+            if args.scaling:
+                if args.checkpoint:
+                    print("error: --checkpoint applies to a single run, "
+                          "not a --scaling sweep", file=sys.stderr)
+                    return 2
+                runs = multi_query_scaling([args.engine], args.scaling,
+                                           mconfig)
+                print(format_scaling(runs))
+            else:
+                run = run_multi_query(mconfig, args.engine,
+                                      checkpoint_path=args.checkpoint)
+                print(format_multi_run(run))
+                if args.checkpoint:
+                    print(f"checkpoint saved to {args.checkpoint}")
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         return 0
 
     config = _config(args)

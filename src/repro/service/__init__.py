@@ -1,0 +1,27 @@
+"""Multi-query continuous matching service.
+
+One :class:`MatchService` owns one shared sliding window over one edge
+stream and fans events out to N registered queries, each backed by its
+own engine (TCM or any baseline from the benchmark registry).  Queries
+register and retire at runtime; failures are isolated per query; the
+whole registry checkpoints to JSON for restart/resume.
+"""
+
+from repro.service.stats import QueryStats, ServiceStats
+from repro.service.registry import (
+    EngineFactory, QueryRegistry, QueryStatus, RegisteredQuery,
+)
+from repro.service.service import (
+    MatchNotification, MatchService, OutOfOrderError,
+)
+from repro.service.checkpoint import (
+    load_checkpoint, restore, resume_edges, save_checkpoint, snapshot,
+)
+
+__all__ = [
+    "QueryStats", "ServiceStats",
+    "EngineFactory", "QueryRegistry", "QueryStatus", "RegisteredQuery",
+    "MatchNotification", "MatchService", "OutOfOrderError",
+    "load_checkpoint", "restore", "resume_edges", "save_checkpoint",
+    "snapshot",
+]

@@ -1,0 +1,164 @@
+"""JSON checkpointing for :class:`~repro.service.service.MatchService`.
+
+A checkpoint persists everything needed to restart a service and resume
+ingestion: the window size, the stream high-water mark and arrival
+sequence counter, the service/query counters, and the full registry
+(query structure, temporal order, data labels, engine kinds).
+
+What a checkpoint deliberately does *not* persist is engine state: the
+within-window graph copies and candidate stores are derived data and are
+rebuilt by the stream itself.  A restored service therefore restarts
+with an empty window — restored queries behave exactly like queries
+registered at the restore point (their ``joined_seq`` is the snapshot's
+sequence cursor), and the caller resumes feeding edges with timestamps
+beyond the high-water mark (:func:`resume_edges` filters a replayed
+stream accordingly).
+
+Labels must be JSON-serializable (strings/numbers, as every workload in
+this repo uses).  Callables cannot be serialized: restoring a query
+that had an ``edge_label_fn`` requires passing a replacement via
+``edge_label_fns`` (it affects matching correctness, so its absence is
+an error), and subscriber callbacks must be re-attached after restore
+via ``service.subscribe`` (the snapshot records ``has_subscribers`` per
+query so operators can tell which feeds need re-wiring).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from repro.graph.temporal_graph import Edge
+from repro.query.temporal_query import TemporalQuery
+from repro.service.registry import EngineFactory, QueryStatus
+from repro.service.service import MatchService
+from repro.service.stats import QueryStats, ServiceStats
+
+#: Format tag written into every checkpoint (bump on layout changes).
+FORMAT = "repro.service.checkpoint/1"
+
+
+def snapshot(service: MatchService) -> Dict[str, object]:
+    """A JSON-ready snapshot of ``service`` (registry + window cursor)."""
+    queries: List[Dict[str, object]] = []
+    for entry in service.registry.list():
+        if entry.custom_factory:
+            raise ValueError(
+                f"cannot checkpoint query {entry.query_id!r}: its engine "
+                f"was built by a custom factory ({entry.engine_kind!r}), "
+                f"which JSON cannot persist")
+        query = entry.query
+        queries.append({
+            "query_id": entry.query_id,
+            "engine": entry.engine_kind,
+            "status": entry.status.value,
+            "error": entry.error,
+            "has_edge_label_fn": entry.edge_label_fn is not None,
+            "has_subscribers": bool(entry.subscribers),
+            "collect_results": entry.result is not None,
+            "labels": list(query.labels),
+            "edges": [[e.u, e.v] for e in query.edges],
+            "order_pairs": [list(p) for p in query.order.pairs()],
+            "directed": query.directed,
+            "edge_labels": (list(query.edge_labels)
+                            if any(l is not None for l in query.edge_labels)
+                            else None),
+            "data_labels": {str(v): l for v, l in entry.labels.items()},
+            "stats": entry.stats.to_dict(),
+        })
+    return {
+        "format": FORMAT,
+        "delta": service.delta,
+        "now": service.now,
+        "seq": service.seq,
+        "stats": service.stats.to_dict(),
+        "queries": queries,
+    }
+
+
+def restore(data: Dict[str, object], *,
+            engine_factories: Optional[Dict[str, EngineFactory]] = None,
+            edge_label_fns: Optional[Dict[str, Callable]] = None
+            ) -> MatchService:
+    """Rebuild a service from a :func:`snapshot` dictionary.
+
+    ``edge_label_fns`` maps query ids to replacement ``edge_label_fn``
+    callables for queries that had one at snapshot time (functions are
+    not serializable); omitting a required entry raises ``ValueError``.
+    """
+    if data.get("format") != FORMAT:
+        raise ValueError(f"not a service checkpoint: format "
+                         f"{data.get('format')!r} (expected {FORMAT!r})")
+    service = MatchService(int(data["delta"]),
+                           engine_factories=engine_factories)
+    service._now = data["now"]
+    service._seq = int(data["seq"])
+    service.stats = ServiceStats(**data["stats"])
+    fns = edge_label_fns or {}
+    for spec in data["queries"]:
+        query_id = spec["query_id"]
+        edge_label_fn = fns.get(query_id)
+        if spec["has_edge_label_fn"] and edge_label_fn is None:
+            raise ValueError(
+                f"query {query_id!r} was registered with an edge_label_fn; "
+                f"pass a replacement via edge_label_fns={{{query_id!r}: fn}}")
+        query = TemporalQuery(
+            labels=spec["labels"],
+            edges=[tuple(e) for e in spec["edges"]],
+            order_pairs=[tuple(p) for p in spec["order_pairs"]],
+            directed=spec["directed"],
+            edge_labels=spec["edge_labels"],
+        )
+        entry = service.registry.register(
+            query,
+            {int(v): l for v, l in spec["data_labels"].items()},
+            spec["engine"],
+            query_id=query_id,
+            joined_seq=service.seq,
+            edge_label_fn=edge_label_fn,
+            collect_results=spec["collect_results"],
+        )
+        entry.status = QueryStatus(spec["status"])
+        entry.error = spec["error"]
+        entry.stats = QueryStats(**spec["stats"])
+    return service
+
+
+def save_checkpoint(service: MatchService, path: str) -> None:
+    """Write a checkpoint of ``service`` to ``path`` as JSON.
+
+    The snapshot is fully serialized before the file is opened, so a
+    snapshot failure (custom factory, unserializable label) cannot
+    truncate an existing good checkpoint at ``path``.
+    """
+    text = json.dumps(snapshot(service), indent=1, sort_keys=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+
+
+def load_checkpoint(path: str, *,
+                    engine_factories: Optional[Dict[str,
+                                                    EngineFactory]] = None,
+                    edge_label_fns: Optional[Dict[str, Callable]] = None
+                    ) -> MatchService:
+    """Read a checkpoint from ``path`` and rebuild the service."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    return restore(data, engine_factories=engine_factories,
+                   edge_label_fns=edge_label_fns)
+
+
+def resume_edges(service: MatchService,
+                 edges: Iterable[Edge]) -> Iterator[Edge]:
+    """Filter a replayed stream down to the not-yet-ingested suffix.
+
+    After a restore, re-feeding the original stream through this filter
+    skips every edge at or before the high-water mark, so ingestion
+    resumes exactly where the checkpoint was taken.  (Assumes at most
+    one edge per timestamp, the convention of this repo's generators;
+    with timestamp ties, resume from an inter-batch boundary instead.)
+    """
+    now = service.now
+    for edge in edges:
+        if now is None or edge.t > now:
+            yield edge

@@ -1,0 +1,279 @@
+"""The multi-query continuous matching service.
+
+A :class:`MatchService` owns one shared sliding window over one edge
+stream and fans every arrival/expiration event out to N registered
+queries, each backed by its own engine (TCM or any baseline).  This is
+the standard deployment model of continuous subgraph matching: many
+long-lived detection queries over one stream, registered and retired at
+runtime.
+
+Semantics, matching Algorithm 1's event list exactly:
+
+* an edge ``(u, v, t)`` arrives at ``t`` and expires at ``t + delta``;
+* at the moment an arrival at ``t`` is processed, every live edge with
+  timestamp ``<= t - delta`` has already expired (the window is the
+  half-open interval ``(t - delta, t]``);
+* a query registered mid-stream only receives events from its
+  registration point on — in particular it never receives the
+  expiration of an edge whose arrival it did not see, so its engine's
+  window copy stays consistent;
+* a failing engine (or subscriber) quarantines only its own query: the
+  error is recorded on the registry entry and the remaining queries
+  keep matching.
+
+Because engines own their within-window graph copy, the service itself
+only tracks the live-edge FIFO and the high-water mark; that pair (plus
+the registry) is exactly what :mod:`repro.service.checkpoint` persists.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.graph.temporal_graph import Edge
+from repro.query.temporal_query import TemporalQuery
+from repro.service.registry import (
+    EngineFactory, QueryRegistry, RegisteredQuery,
+)
+from repro.service.stats import ServiceStats
+from repro.streaming.events import Event, EventKind
+from repro.streaming.match import Match
+
+
+class OutOfOrderError(ValueError):
+    """An ingested edge went backwards in time.
+
+    ``notifications`` carries the notifications already routed for the
+    accepted prefix of the batch — engines and subscribers have seen
+    those events, so a caller that catches the error and continues must
+    not lose them.
+    """
+
+    def __init__(self, message: str,
+                 notifications: "List[MatchNotification]"):
+        super().__init__(message)
+        self.notifications = notifications
+
+
+@dataclass(frozen=True)
+class MatchNotification:
+    """One routed result: ``query_id`` matched (or unmatched) on ``event``."""
+
+    query_id: str
+    event: Event
+    match: Match
+
+    @property
+    def occurred(self) -> bool:
+        """True for an occurrence, False for an expiration."""
+        return self.event.is_arrival
+
+
+class MatchService:
+    """Hosts N continuous queries over one shared windowed edge stream.
+
+    Parameters
+    ----------
+    delta:
+        The shared window size; every hosted query matches within the
+        same window (one stream, one window, many queries).
+    registry:
+        Optional pre-built :class:`QueryRegistry` (used by checkpoint
+        restore); a fresh one is created by default.
+    engine_factories:
+        Optional engine-kind registry overriding the benchmark default.
+    """
+
+    def __init__(self, delta: int, *,
+                 registry: Optional[QueryRegistry] = None,
+                 engine_factories: Optional[Dict[str, EngineFactory]] = None):
+        if delta <= 0:
+            raise ValueError("window size delta must be positive")
+        self.delta = delta
+        self.registry = registry or QueryRegistry(engine_factories)
+        self.stats = ServiceStats()
+        self._live: Deque[Tuple[Edge, int]] = deque()  # (edge, arrival seq)
+        self._now: Optional[int] = None
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Registration façade
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> Optional[int]:
+        """The stream high-water mark (None before any edge)."""
+        return self._now
+
+    @property
+    def seq(self) -> int:
+        """Number of arrivals ingested so far (the join cursor)."""
+        return self._seq
+
+    def register(self, query: TemporalQuery, labels: Dict[int, object],
+                 engine: object = "tcm", *,
+                 query_id: Optional[str] = None,
+                 edge_label_fn: Optional[Callable] = None,
+                 subscriber: Optional[Callable] = None,
+                 collect_results: bool = True) -> str:
+        """Register a continuous query; returns its query id.
+
+        Safe mid-stream: the query only sees arrivals ingested after
+        this call (and only the expirations of those arrivals).
+        """
+        entry = self.registry.register(
+            query, labels, engine, query_id=query_id,
+            joined_seq=self._seq, edge_label_fn=edge_label_fn,
+            subscriber=subscriber, collect_results=collect_results)
+        self.stats.registered_total += 1
+        return entry.query_id
+
+    def unregister(self, query_id: str) -> RegisteredQuery:
+        """Retire a query mid-stream; returns its final entry (with
+        stats and any collected results)."""
+        entry = self.registry.unregister(query_id)
+        self.stats.unregistered_total += 1
+        return entry
+
+    def subscribe(self, query_id: str,
+                  callback: Callable[[MatchNotification], None]) -> None:
+        """Attach ``callback`` to a query's result feed."""
+        self.registry.get(query_id).subscribers.append(callback)
+
+    def query_stats(self, query_id: str):
+        """The :class:`QueryStats` of one registered query."""
+        return self.registry.get(query_id).stats
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, edges: Iterable[Edge]) -> List[MatchNotification]:
+        """Ingest one chronological batch of edges.
+
+        Edges must arrive in non-decreasing timestamp order across all
+        batches (the streaming contract); a violation raises
+        :class:`OutOfOrderError`, whose ``notifications`` attribute
+        carries the results of the batch's accepted prefix.  Returns
+        every notification routed during the batch, in event order.
+        """
+        notifications: List[MatchNotification] = []
+        start = time.perf_counter()
+        # Counters update per edge inside try/finally: a mid-batch
+        # rejection (out-of-order edge) must leave the stats consistent
+        # with the events that were already fanned out.
+        try:
+            for edge in edges:
+                if self._now is not None and edge.t < self._now:
+                    raise OutOfOrderError(
+                        f"out-of-order arrival: t={edge.t} after "
+                        f"now={self._now}", notifications)
+                self._expire_until(edge.t, notifications)
+                self._now = edge.t
+                # Advance the join cursor before fanning out: a query
+                # registered from inside a subscriber callback missed
+                # this arrival (it is not in the entry snapshot being
+                # iterated), so it must not be routed its expiration.
+                seq = self._seq
+                self._seq += 1
+                event = Event(edge, edge.t, EventKind.ARRIVAL)
+                self._fanout(event, seq, notifications)
+                self._live.append((edge, seq))
+                self.stats.edges_ingested += 1
+        finally:
+            self.stats.batches += 1
+            self.stats.elapsed_seconds += time.perf_counter() - start
+        return notifications
+
+    def advance_to(self, t: int) -> List[MatchNotification]:
+        """Advance the clock to ``t`` without ingesting edges, expiring
+        every edge whose window has closed."""
+        notifications: List[MatchNotification] = []
+        start = time.perf_counter()
+        if self._now is None or t > self._now:
+            self._now = t
+        self._expire_until(self._now, notifications)
+        self.stats.elapsed_seconds += time.perf_counter() - start
+        return notifications
+
+    def drain(self) -> List[MatchNotification]:
+        """Expire every remaining live edge (end of stream).
+
+        The arrival cursor (``now``) is deliberately left at the last
+        arrival timestamp: draining flushes the window, it does not
+        fast-forward the stream, so a checkpoint taken after a drain
+        still resumes from the last edge actually ingested.
+        """
+        notifications: List[MatchNotification] = []
+        start = time.perf_counter()
+        while self._live:
+            edge, seq = self._live.popleft()
+            event = Event(edge, edge.t + self.delta, EventKind.EXPIRATION)
+            self._fanout(event, seq, notifications)
+        self.stats.elapsed_seconds += time.perf_counter() - start
+        return notifications
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _expire_until(self, t: int,
+                      out: List[MatchNotification]) -> None:
+        """Expire live edges whose window closes at or before time ``t``
+        (an edge with timestamp ``<= t - delta`` is outside ``(t -
+        delta, t]``, so its expiration precedes the arrival at ``t``)."""
+        while self._live and self._live[0][0].t + self.delta <= t:
+            edge, seq = self._live.popleft()
+            event = Event(edge, edge.t + self.delta, EventKind.EXPIRATION)
+            self._fanout(event, seq, out)
+
+    def _fanout(self, event: Event, seq: int,
+                out: List[MatchNotification]) -> None:
+        """Route one event to every eligible query, isolating failures."""
+        arrival = event.is_arrival
+        registry = self.registry
+        for entry in registry.entries():
+            if (not entry.active or entry.joined_seq > seq
+                    or entry.query_id not in registry):
+                # Errored queries are quarantined; a query that joined
+                # after this edge arrived never saw the arrival, so it
+                # must not see the event either; and a query
+                # unregistered from a callback mid-fan-out (it is still
+                # in the cached snapshot) gets nothing further.
+                continue
+            self.stats.events_routed += 1
+            stats = entry.stats
+            began = time.perf_counter()
+            try:
+                if arrival:
+                    matches = entry.engine.on_edge_insert(event.edge)
+                else:
+                    matches = entry.engine.on_edge_expire(event.edge)
+                stats.events_processed += 1
+                if arrival:
+                    stats.occurred += len(matches)
+                else:
+                    stats.expired += len(matches)
+                # Engines note their own peak per event; reading the
+                # recorded high-water mark avoids a second O(entries)
+                # scan per event (matches the single-query runner).
+                stats.note_structure_size(
+                    entry.engine.stats.peak_structure_entries)
+                for match in matches:
+                    notification = MatchNotification(
+                        entry.query_id, event, match)
+                    if entry.result is not None:
+                        if arrival:
+                            entry.result.occurred.append((event, match))
+                        else:
+                            entry.result.expired.append((event, match))
+                    for callback in entry.subscribers:
+                        callback(notification)
+                    out.append(notification)
+                if entry.result is not None:
+                    entry.result.events_processed += 1
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                entry.mark_errored(exc)
+                self.stats.errored_queries += 1
+            finally:
+                stats.elapsed_seconds += time.perf_counter() - began

@@ -1,7 +1,8 @@
 """Query workload generation (Section VI, 'Queries')."""
 
 from repro.workloads.queries import (
-    QueryInstance, make_query_set, random_walk_query,
+    QueryInstance, make_mixed_query_set, make_query_set, random_walk_query,
 )
 
-__all__ = ["QueryInstance", "make_query_set", "random_walk_query"]
+__all__ = ["QueryInstance", "make_mixed_query_set", "make_query_set",
+           "random_walk_query"]

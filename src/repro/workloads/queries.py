@@ -161,3 +161,29 @@ def make_query_set(graph: TemporalGraph, size: int, count: int,
         if instance is not None:
             out.append(instance)
     return out
+
+
+def make_mixed_query_set(graph: TemporalGraph, count: int,
+                         sizes: Sequence[int] = (3, 4, 5),
+                         density: float = 0.5,
+                         seed: int = 0) -> List[QueryInstance]:
+    """A heterogeneous workload of ``count`` queries cycling over
+    ``sizes``.
+
+    This is the registration workload of the multi-query service: a
+    realistic service hosts detection queries of different shapes, so
+    scaling measurements should not be dominated by one query size.
+    Each slot gets its own retry budget: a size the graph cannot
+    support leaves its slots unfilled without starving the remaining
+    (feasible) sizes.
+    """
+    rng = random.Random(seed)
+    out: List[QueryInstance] = []
+    for slot in range(count):
+        size = sizes[slot % len(sizes)]
+        for _ in range(50):
+            instance = random_walk_query(graph, size, rng, density)
+            if instance is not None:
+                out.append(instance)
+                break
+    return out

@@ -20,6 +20,14 @@ class TestParser:
             ["fig7", "--engines", "tcm", "symbi"])
         assert args.engines == ["tcm", "symbi"]
 
+    def test_multi_defaults(self):
+        args = build_parser().parse_args(["multi"])
+        assert args.command == "multi"
+        assert args.queries == 4
+        assert args.batch_size == 100
+        assert args.engine == "tcm"
+        assert args.scaling is None
+
 
 class TestExecution:
     def run(self, argv, capsys):
@@ -53,3 +61,43 @@ class TestExecution:
             "--queries", "1", "--sizes", "3", "--time-limit", "5",
         ], capsys)
         assert "Table V" in out
+
+    def test_multi_eight_queries(self, capsys):
+        """Acceptance: `repro.cli multi --queries 8` runs end-to-end."""
+        out = self.run([
+            "multi", "--queries", "8", "--stream-edges", "300",
+            "--batch-size", "50",
+        ], capsys)
+        assert "queries=8" in out
+        assert "edges/s" in out
+        assert out.count("tcm") >= 8       # one per-query row each
+
+    def test_multi_scaling(self, capsys):
+        out = self.run([
+            "multi", "--stream-edges", "150", "--scaling", "1", "2",
+        ], capsys)
+        assert "edges/s by #queries" in out
+
+    def test_multi_checkpoint(self, capsys, tmp_path):
+        path = str(tmp_path / "svc.json")
+        out = self.run([
+            "multi", "--queries", "2", "--stream-edges", "150",
+            "--checkpoint", path,
+        ], capsys)
+        assert "checkpoint saved" in out
+        from repro.service import load_checkpoint
+        assert len(load_checkpoint(path).registry) == 2
+
+    def test_multi_checkpoint_rejects_edge_labeled_dataset(self, capsys,
+                                                           tmp_path):
+        """netflow attaches per-edge labels whose mapping a JSON
+        checkpoint cannot persist; the CLI must refuse, not write an
+        unrestorable file."""
+        path = str(tmp_path / "svc.json")
+        rc = main(["multi", "--dataset", "netflow", "--queries", "1",
+                   "--stream-edges", "100", "--checkpoint", path])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "per-edge labels" in err
+        import os
+        assert not os.path.exists(path)

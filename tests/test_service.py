@@ -1,0 +1,457 @@
+"""Tests for the multi-query matching service (repro.service)."""
+
+import json
+
+import pytest
+
+from repro.bench import make_engine
+from repro.datasets import DATASET_SPECS, generate_stream
+from repro.graph.temporal_graph import Edge, TemporalGraph
+from repro.query import TemporalQuery
+from repro.service import (
+    MatchService, OutOfOrderError, QueryRegistry, QueryStatus,
+    load_checkpoint, restore, resume_edges, save_checkpoint, snapshot,
+)
+from repro.streaming import StreamDriver
+from repro.streaming.engine import MatchEngine
+from repro.workloads import make_query_set
+
+AB_QUERY = TemporalQuery(labels=["A", "B"], edges=[(0, 1)])
+AB_LABELS = {0: "A", 1: "B"}
+
+
+def ab_edges(n, start=1):
+    """n parallel A-B edges at timestamps start, start+1, ..."""
+    return [Edge.make(0, 1, t) for t in range(start, start + n)]
+
+
+class TestRegistry:
+    def test_auto_ids_are_unique(self):
+        registry = QueryRegistry()
+        ids = {registry.register(AB_QUERY, AB_LABELS).query_id
+               for _ in range(5)}
+        assert len(ids) == 5
+
+    def test_explicit_id_clash_rejected(self):
+        registry = QueryRegistry()
+        registry.register(AB_QUERY, AB_LABELS, query_id="fraud")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(AB_QUERY, AB_LABELS, query_id="fraud")
+
+    def test_unknown_engine_kind(self):
+        registry = QueryRegistry()
+        with pytest.raises(ValueError, match="unknown engine"):
+            registry.register(AB_QUERY, AB_LABELS, engine="nope")
+
+    def test_unregister_missing(self):
+        with pytest.raises(KeyError):
+            QueryRegistry().unregister("ghost")
+
+    def test_engine_is_lazy(self):
+        entry = QueryRegistry().register(AB_QUERY, AB_LABELS)
+        assert not entry.engine_started
+        entry.engine.on_edge_insert(Edge.make(0, 1, 1))
+        assert entry.engine_started
+
+    def test_callable_factory(self):
+        def factory(query, labels, edge_label_fn=None):
+            return make_engine("symbi", query, labels, edge_label_fn)
+
+        entry = QueryRegistry().register(AB_QUERY, AB_LABELS,
+                                         engine=factory)
+        assert entry.engine_kind == "factory"
+        assert entry.engine.name == "symbi"
+
+
+class TestServiceBasics:
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            MatchService(0)
+
+    def test_out_of_order_ingest_rejected(self):
+        service = MatchService(5)
+        service.ingest([Edge.make(0, 1, 10)])
+        with pytest.raises(ValueError, match="out-of-order"):
+            service.ingest([Edge.make(0, 1, 9)])
+
+    def test_stats_consistent_after_mid_batch_rejection(self):
+        """Edges fanned out before an out-of-order rejection must stay
+        counted: seq and edges_ingested may not drift apart."""
+        service = MatchService(5)
+        qid = service.register(AB_QUERY, AB_LABELS)
+        with pytest.raises(ValueError, match="out-of-order"):
+            service.ingest([Edge.make(0, 1, 10), Edge.make(0, 1, 9)])
+        assert service.stats.edges_ingested == 1
+        assert service.seq == 1
+        assert service.stats.batches == 1
+        assert service.query_stats(qid).occurred == 1
+
+    def test_out_of_order_error_carries_prefix_notifications(self):
+        """Engines and subscribers already saw the accepted prefix, so
+        the exception must hand its notifications to the caller."""
+        service = MatchService(5)
+        service.register(AB_QUERY, AB_LABELS)
+        with pytest.raises(OutOfOrderError) as excinfo:
+            service.ingest([Edge.make(0, 1, 10), Edge.make(0, 1, 9)])
+        delivered = excinfo.value.notifications
+        assert len(delivered) == 1
+        assert delivered[0].occurred
+        assert delivered[0].event.edge.t == 10
+
+    def test_drain_does_not_advance_arrival_cursor(self):
+        """Draining flushes the window but must not fast-forward `now`:
+        a checkpoint taken after a drain still resumes from the last
+        ingested edge, not delta ticks past it."""
+        service = MatchService(50)
+        qid = service.register(AB_QUERY, AB_LABELS)
+        service.ingest([Edge.make(0, 1, 1), Edge.make(0, 1, 10)])
+        service.drain()
+        assert service.now == 10
+        restored = restore(snapshot(service))
+        new_edges = [Edge.make(0, 1, 20), Edge.make(0, 1, 30)]
+        assert list(resume_edges(restored, new_edges)) == new_edges
+        restored.ingest(new_edges)
+        restored.drain()
+        assert restored.query_stats(qid).occurred == 4
+
+    def test_single_query_counts(self):
+        service = MatchService(3)
+        qid = service.register(AB_QUERY, AB_LABELS)
+        notifications = service.ingest(ab_edges(5))
+        notifications += service.drain()
+        stats = service.query_stats(qid)
+        assert stats.occurred == 5
+        assert stats.expired == 5
+        # 5 arrivals + 5 expirations routed to one query.
+        assert stats.events_processed == 10
+        assert len(notifications) == 10
+        assert service.stats.edges_ingested == 5
+        assert service.stats.events_routed == 10
+
+    def test_advance_to_expires(self):
+        service = MatchService(3)
+        qid = service.register(AB_QUERY, AB_LABELS)
+        service.ingest(ab_edges(2))          # t = 1, 2
+        notifications = service.advance_to(10)
+        assert all(not n.occurred for n in notifications)
+        assert service.query_stats(qid).expired == 2
+        assert service.now == 10
+
+
+class TestAgreementWithStreamDriver:
+    """Acceptance: a service hosting one query produces the identical
+    occurrence/expiration multisets as StreamDriver on the same stream."""
+
+    @pytest.mark.parametrize("engine", ["tcm", "symbi", "rapidflow",
+                                        "timing"])
+    def test_multisets_match(self, engine):
+        stream = generate_stream(DATASET_SPECS["superuser"], 250, seed=3)
+        graph = TemporalGraph(labels=stream.labels)
+        for e in stream.edges:
+            graph.insert_edge(e)
+        instance = make_query_set(graph, size=4, count=1, seed=3)[0]
+        delta = 80
+
+        driver = StreamDriver(
+            make_engine(engine, instance.query, stream.labels))
+        expected = driver.run_edges(stream.edges, delta)
+
+        service = MatchService(delta)
+        qid = service.register(instance.query, stream.labels, engine)
+        for lo in range(0, len(stream.edges), 50):   # batched ingestion
+            service.ingest(stream.edges[lo:lo + 50])
+        service.drain()
+        result = service.registry.get(qid).result
+
+        assert (result.occurrence_multiset()
+                == expected.occurrence_multiset())
+        assert (result.expiration_multiset()
+                == expected.expiration_multiset())
+
+    def test_agreement_across_engines_in_one_service(self):
+        """All engine kinds hosted side by side see the same matches."""
+        stream = generate_stream(DATASET_SPECS["lsbench"], 200, seed=0)
+        graph = TemporalGraph(labels=stream.labels)
+        for e in stream.edges:
+            graph.insert_edge(e)
+        instance = make_query_set(graph, size=3, count=1, seed=0)[0]
+        service = MatchService(60)
+        qids = [service.register(instance.query, stream.labels, kind)
+                for kind in ("tcm", "symbi", "timing")]
+        service.ingest(stream.edges)
+        service.drain()
+        results = [service.registry.get(q).result for q in qids]
+        first = results[0]
+        for other in results[1:]:
+            assert (other.occurrence_multiset()
+                    == first.occurrence_multiset())
+            assert (other.expiration_multiset()
+                    == first.expiration_multiset())
+
+
+class TestMidStreamLifecycle:
+    def test_late_query_sees_only_post_registration_matches(self):
+        service = MatchService(100)
+        early = service.register(AB_QUERY, AB_LABELS)
+        service.ingest(ab_edges(5))                  # t = 1..5
+        late = service.register(AB_QUERY, AB_LABELS)
+        service.ingest(ab_edges(5, start=6))         # t = 6..10
+        service.drain()
+        assert service.query_stats(early).occurred == 10
+        assert service.query_stats(late).occurred == 5
+        # The late query never receives expirations of pre-join edges
+        # (its engine would KeyError on removing an edge it never saw).
+        assert service.query_stats(late).expired == 5
+        assert service.query_stats(late).errors == 0
+        occurred = service.registry.get(late).result.occurred
+        assert min(event.edge.t for event, _ in occurred) == 6
+
+    def test_register_from_subscriber_callback_is_safe(self):
+        """A follow-up query registered from inside a subscriber
+        callback missed the in-flight arrival, so it must not receive
+        that edge's expiration (which would corrupt its engine)."""
+        service = MatchService(3)
+        follow_ups = []
+
+        def register_follow_up(notification):
+            if not follow_ups:
+                follow_ups.append(
+                    service.register(AB_QUERY, AB_LABELS))
+
+        service.register(AB_QUERY, AB_LABELS,
+                         subscriber=register_follow_up)
+        service.ingest(ab_edges(5))       # callback fires at t=1
+        service.drain()
+        follow_up = service.registry.get(follow_ups[0])
+        assert follow_up.status is QueryStatus.ACTIVE
+        assert follow_up.stats.errors == 0
+        # Saw t=2..5 only — and exactly their expirations.
+        assert follow_up.stats.occurred == 4
+        assert follow_up.stats.expired == 4
+
+    def test_unregister_from_subscriber_callback_stops_delivery(self):
+        """Symmetric to register-from-callback: a query unregistered by
+        an earlier subscriber mid-fan-out must not receive the in-flight
+        event — its returned stats are final."""
+        service = MatchService(100)
+        retired = []
+
+        def retire(notification):
+            if victim_id in service.registry:
+                retired.append(service.unregister(victim_id))
+
+        service.register(AB_QUERY, AB_LABELS, subscriber=retire)
+        victim_id = service.register(AB_QUERY, AB_LABELS)
+        service.ingest(ab_edges(3))
+        service.drain()
+        assert victim_id not in service.registry
+        # The first subscriber fired on t=1's arrival before fan-out
+        # reached the victim, so the victim never saw any event.
+        assert retired[0].stats.events_processed == 0
+        assert retired[0].stats.occurred == 0
+
+    def test_unregister_stops_delivery(self):
+        service = MatchService(100)
+        qid = service.register(AB_QUERY, AB_LABELS)
+        keep = service.register(AB_QUERY, AB_LABELS)
+        service.ingest(ab_edges(4))
+        entry = service.unregister(qid)
+        service.ingest(ab_edges(4, start=5))
+        service.drain()
+        assert entry.stats.occurred == 4      # frozen at unregistration
+        assert service.query_stats(keep).occurred == 8
+        assert qid not in service.registry
+        assert service.stats.unregistered_total == 1
+
+
+class TestRouting:
+    def test_subscribers_get_only_their_matches(self):
+        ac_query = TemporalQuery(labels=["A", "C"], edges=[(0, 1)])
+        labels = {0: "A", 1: "B", 2: "C"}
+        service = MatchService(50)
+        seen_ab, seen_ac = [], []
+        ab = service.register(AB_QUERY, labels, subscriber=seen_ab.append)
+        ac = service.register(ac_query, labels, subscriber=seen_ac.append)
+        service.ingest([Edge.make(0, 1, 1), Edge.make(0, 2, 2),
+                        Edge.make(0, 1, 3)])
+        service.drain()
+        assert {n.query_id for n in seen_ab} == {ab}
+        assert {n.query_id for n in seen_ac} == {ac}
+        assert sum(n.occurred for n in seen_ab) == 2
+        assert sum(n.occurred for n in seen_ac) == 1
+        # Expirations are routed too, flagged occurred=False.
+        assert sum(not n.occurred for n in seen_ac) == 1
+
+
+class FailingEngine(MatchEngine):
+    """Raises on the Nth insert; used for error-isolation tests."""
+
+    name = "failing"
+
+    def __init__(self, query, labels, edge_label_fn=None, fail_at=3):
+        super().__init__(query, labels, edge_label_fn)
+        self.fail_at = fail_at
+        self.inserts = 0
+
+    def on_edge_insert(self, edge):
+        self.inserts += 1
+        if self.inserts >= self.fail_at:
+            raise RuntimeError("engine blew up")
+        return []
+
+    def on_edge_expire(self, edge):
+        return []
+
+
+class TestErrorIsolation:
+    def test_failing_engine_quarantined(self):
+        service = MatchService(100)
+        bad = service.register(AB_QUERY, AB_LABELS,
+                               engine=lambda q, l, elf=None:
+                               FailingEngine(q, l, elf))
+        good = service.register(AB_QUERY, AB_LABELS)
+        service.ingest(ab_edges(6))
+        service.drain()
+        bad_entry = service.registry.get(bad)
+        assert bad_entry.status is QueryStatus.ERRORED
+        assert "RuntimeError: engine blew up" in bad_entry.error
+        assert bad_entry.stats.errors == 1
+        # Routing to the errored query stopped at the failure...
+        assert bad_entry.stats.events_processed == 2
+        # ...while the healthy query saw the full stream.
+        assert service.query_stats(good).occurred == 6
+        assert service.query_stats(good).expired == 6
+        assert service.stats.errored_queries == 1
+
+    def test_failing_subscriber_quarantines_only_its_query(self):
+        def boom(notification):
+            raise ValueError("subscriber crashed")
+
+        service = MatchService(100)
+        bad = service.register(AB_QUERY, AB_LABELS, subscriber=boom)
+        good = service.register(AB_QUERY, AB_LABELS)
+        service.ingest(ab_edges(3))
+        service.drain()
+        assert service.registry.get(bad).status is QueryStatus.ERRORED
+        assert service.query_stats(good).occurred == 3
+
+
+class TestCheckpoint:
+    def make_service(self):
+        service = MatchService(4)
+        service.register(AB_QUERY, AB_LABELS, "tcm", query_id="fraud")
+        service.register(
+            TemporalQuery(labels=["A", "B", "A"], edges=[(0, 1), (1, 2)],
+                          order_pairs=[(0, 1)]),
+            {0: "A", 1: "B", 2: "A"}, "symbi", query_id="ddos")
+        return service
+
+    def test_round_trip_preserves_registry(self, tmp_path):
+        service = self.make_service()
+        service.ingest(ab_edges(6))
+        path = str(tmp_path / "service.json")
+        save_checkpoint(service, path)
+        restored = load_checkpoint(path)
+
+        assert restored.delta == service.delta
+        assert restored.now == service.now
+        assert restored.seq == service.seq
+        assert restored.stats.edges_ingested == 6
+        assert restored.stats.registered_total == 2
+        assert [e.query_id for e in restored.registry.list()] == \
+            ["fraud", "ddos"]
+        for original, rebuilt in zip(service.registry.list(),
+                                     restored.registry.list()):
+            assert rebuilt.engine_kind == original.engine_kind
+            assert rebuilt.labels == original.labels
+            assert rebuilt.query.labels == original.query.labels
+            assert (rebuilt.query.order.pairs()
+                    == original.query.order.pairs())
+            assert rebuilt.stats.occurred == original.stats.occurred
+
+    def test_restored_service_resumes_ingestion(self, tmp_path):
+        edges = ab_edges(10)
+        service = self.make_service()
+        service.ingest(edges[:6])
+        path = str(tmp_path / "service.json")
+        save_checkpoint(service, path)
+
+        restored = load_checkpoint(path)
+        remaining = list(resume_edges(restored, edges))
+        assert [e.t for e in remaining] == [7, 8, 9, 10]
+        restored.ingest(remaining)
+        restored.drain()
+        stats = restored.query_stats("fraud")
+        # 6 pre-checkpoint + 4 post-restore occurrences.
+        assert stats.occurred == 10
+        # 2 edges expired pre-checkpoint and the 4 post-restore arrivals
+        # expire on drain; the 4 live-at-checkpoint edges are lost with
+        # the window (restored engines never saw their arrivals).
+        assert stats.expired == 2 + 4
+
+    def test_snapshot_is_json(self):
+        service = self.make_service()
+        data = json.loads(json.dumps(snapshot(service)))
+        assert data["format"].startswith("repro.service.checkpoint")
+        assert len(data["queries"]) == 2
+
+    def test_restore_rejects_other_formats(self):
+        with pytest.raises(ValueError, match="not a service checkpoint"):
+            restore({"format": "something/else"})
+
+    def test_custom_factory_not_checkpointable(self):
+        service = MatchService(4)
+        service.register(AB_QUERY, AB_LABELS,
+                         engine=lambda q, l, elf=None:
+                         make_engine("tcm", q, l, elf))
+        with pytest.raises(ValueError, match="custom factory"):
+            snapshot(service)
+
+    def test_failed_save_preserves_existing_checkpoint(self, tmp_path):
+        """A snapshot failure must not truncate a good checkpoint."""
+        path = str(tmp_path / "service.json")
+        save_checkpoint(self.make_service(), path)
+        good = open(path).read()
+
+        broken = MatchService(4)
+        broken.register(AB_QUERY, AB_LABELS,
+                        engine=lambda q, l, elf=None:
+                        make_engine("tcm", q, l, elf))
+        with pytest.raises(ValueError, match="custom factory"):
+            save_checkpoint(broken, path)
+        assert open(path).read() == good
+        assert len(load_checkpoint(path).registry) == 2
+
+    def test_custom_factory_named_like_engine_kind_still_rejected(self):
+        """A factory whose __name__ collides with a registered kind
+        must not slip through the guard and restore as the stock
+        engine."""
+        def tcm(query, labels, edge_label_fn=None):
+            return make_engine("symbi", query, labels, edge_label_fn)
+
+        service = MatchService(4)
+        service.register(AB_QUERY, AB_LABELS, engine=tcm)
+        with pytest.raises(ValueError, match="custom factory"):
+            snapshot(service)
+
+    def test_snapshot_flags_subscribers(self):
+        """Callbacks cannot be serialized; the snapshot must at least
+        say which queries need re-subscribing after a restore."""
+        service = MatchService(4)
+        service.register(AB_QUERY, AB_LABELS, query_id="alerting",
+                         subscriber=lambda n: None)
+        service.register(AB_QUERY, AB_LABELS, query_id="quiet")
+        flags = {q["query_id"]: q["has_subscribers"]
+                 for q in snapshot(service)["queries"]}
+        assert flags == {"alerting": True, "quiet": False}
+
+    def test_edge_label_fn_requires_replacement(self, tmp_path):
+        service = MatchService(4)
+        service.register(AB_QUERY, AB_LABELS, query_id="labeled",
+                         edge_label_fn=lambda e: None)
+        data = snapshot(service)
+        with pytest.raises(ValueError, match="edge_label_fn"):
+            restore(data)
+        restored = restore(data,
+                           edge_label_fns={"labeled": lambda e: None})
+        assert "labeled" in restored.registry
