@@ -27,6 +27,7 @@ from repro.service import (
     MatchNotification, MatchService, QueryRegistry, load_checkpoint,
     save_checkpoint,
 )
+from repro.cluster import ShardedMatchService
 
 __version__ = "1.0.0"
 
@@ -38,6 +39,7 @@ __all__ = [
     "QueryDag", "TCMEngine", "build_best_dag", "build_dag",
     "OracleEngine", "enumerate_embeddings",
     "MatchNotification", "MatchService", "QueryRegistry",
+    "ShardedMatchService",
     "load_checkpoint", "save_checkpoint",
     "__version__",
 ]

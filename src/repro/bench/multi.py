@@ -23,7 +23,13 @@ from repro.workloads import make_mixed_query_set
 
 @dataclass
 class MultiQueryConfig:
-    """Scale knobs for one multi-query service run."""
+    """Scale knobs for one multi-query service run.
+
+    ``workers=1`` (the default) drives the in-process
+    :class:`~repro.service.MatchService`; ``workers>1`` drives the
+    sharded multi-process :class:`~repro.cluster.ShardedMatchService`
+    with that many worker processes.
+    """
 
     dataset: str = "superuser"
     stream_edges: int = 1000
@@ -33,6 +39,7 @@ class MultiQueryConfig:
     density: float = 0.5
     window_fraction: float = 0.3
     seed: int = 0
+    workers: int = 1
 
     @property
     def delta(self) -> int:
@@ -55,6 +62,7 @@ class MultiQueryRun:
     occurred: int
     expired: int
     errored_queries: int
+    workers: int = 1
     per_query: List[QueryStats] = field(default_factory=list)
 
 
@@ -81,6 +89,11 @@ def build_service(config: MultiQueryConfig, engine: str = "tcm",
     CLI's checkpoint demo, tests) can drive ingestion themselves.
     ``stream``/``graph`` optionally reuse an already-generated workload
     (the scaling sweep replays one stream across every cell).
+
+    With ``config.workers > 1`` the returned service is a
+    :class:`~repro.cluster.ShardedMatchService`; the caller owns its
+    worker processes (``service.close()``, or let
+    :func:`run_multi_query` manage the lifecycle).
     """
     if stream is None or graph is None:
         stream, graph = dataset_workload(config)
@@ -92,7 +105,11 @@ def build_service(config: MultiQueryConfig, engine: str = "tcm",
               f"requested queries could be generated on "
               f"{config.dataset!r} (random walks kept failing)",
               file=sys.stderr)
-    service = MatchService(config.delta)
+    if config.workers > 1:
+        from repro.cluster import ShardedMatchService
+        service = ShardedMatchService(config.delta, workers=config.workers)
+    else:
+        service = MatchService(config.delta)
     for instance in instances:
         service.register(instance.query, stream.labels, engine,
                          edge_label_fn=stream.edge_label_fn(),
@@ -113,68 +130,88 @@ def run_multi_query(config: Optional[MultiQueryConfig] = None,
     """
     config = config or MultiQueryConfig()
     service, stream = build_service(config, engine, stream, graph)
-    if checkpoint_path is not None and stream.edge_labels is not None:
-        # The per-run edge-label dict lives only in this process; a
-        # checkpoint of these queries could never be restored (restore
-        # requires a replacement edge_label_fn).  Fail before running.
-        raise ValueError(
-            f"dataset {config.dataset!r} attaches per-edge labels, whose "
-            f"in-memory mapping a JSON checkpoint cannot persist; "
-            f"--checkpoint is only supported for vertex-labeled datasets")
-    edges = stream.edges
-    step = max(1, config.batch_size)
-    for lo in range(0, len(edges), step):
-        service.ingest(edges[lo:lo + step])
-    service.drain()
-    if checkpoint_path is not None:
-        from repro.service.checkpoint import save_checkpoint
-        save_checkpoint(service, checkpoint_path)
-    per_query = [entry.stats for entry in service.registry.list()]
-    return MultiQueryRun(
-        dataset=config.dataset,
-        engine=engine,
-        num_queries=len(per_query),
-        requested_queries=config.num_queries,
-        batch_size=step,
-        edges_ingested=service.stats.edges_ingested,
-        batches=service.stats.batches,
-        elapsed_seconds=service.stats.elapsed_seconds,
-        throughput_eps=service.stats.throughput_eps,
-        occurred=sum(s.occurred for s in per_query),
-        expired=sum(s.expired for s in per_query),
-        errored_queries=service.stats.errored_queries,
-        per_query=per_query,
-    )
+    sharded = config.workers > 1
+    try:
+        if checkpoint_path is not None and stream.edge_labels is not None:
+            # The per-run edge-label dict lives only in this process; a
+            # checkpoint of these queries could never be restored (restore
+            # requires a replacement edge_label_fn).  Fail before running.
+            raise ValueError(
+                f"dataset {config.dataset!r} attaches per-edge labels, "
+                f"whose in-memory mapping a JSON checkpoint cannot "
+                f"persist; --checkpoint is only supported for "
+                f"vertex-labeled datasets")
+        edges = stream.edges
+        step = max(1, config.batch_size)
+        for lo in range(0, len(edges), step):
+            service.ingest(edges[lo:lo + step])
+        service.drain()
+        if checkpoint_path is not None:
+            if sharded:
+                from repro.cluster.checkpoint import save_checkpoint
+            else:
+                from repro.service.checkpoint import save_checkpoint
+            save_checkpoint(service, checkpoint_path)
+        if sharded:
+            per_query = service.all_query_stats()
+        else:
+            per_query = [entry.stats for entry in service.registry.list()]
+        return MultiQueryRun(
+            dataset=config.dataset,
+            engine=engine,
+            num_queries=len(per_query),
+            requested_queries=config.num_queries,
+            batch_size=step,
+            edges_ingested=service.stats.edges_ingested,
+            batches=service.stats.batches,
+            elapsed_seconds=service.stats.elapsed_seconds,
+            throughput_eps=service.stats.throughput_eps,
+            occurred=sum(s.occurred for s in per_query),
+            expired=sum(s.expired for s in per_query),
+            errored_queries=service.stats.errored_queries,
+            workers=config.workers,
+            per_query=per_query,
+        )
+    finally:
+        if sharded:
+            service.close()
 
 
 def multi_query_scaling(engines: Sequence[str],
                         query_counts: Sequence[int],
-                        config: Optional[MultiQueryConfig] = None
+                        config: Optional[MultiQueryConfig] = None,
+                        worker_counts: Optional[Sequence[int]] = None
                         ) -> List[MultiQueryRun]:
     """Throughput vs number of registered queries, per engine kind.
 
     Every run replays the same stream with the same query workload
-    prefix, so the only varying factor is the fan-out width.
+    prefix, so the only varying factor is the fan-out width — and,
+    when ``worker_counts`` sweeps more than one value, the number of
+    shard worker processes hosting it.
     """
     base = config or MultiQueryConfig()
+    worker_counts = tuple(worker_counts) if worker_counts else (
+        base.workers,)
     # One stream and data graph serve every cell: generation is outside
     # the timed ingest region, so rebuilding it per cell only wastes
     # sweep wall-clock.
     stream, graph = dataset_workload(base)
     runs: List[MultiQueryRun] = []
     for engine in engines:
-        for count in query_counts:
-            runs.append(run_multi_query(replace(base, num_queries=count),
-                                        engine, stream=stream,
-                                        graph=graph))
+        for workers in worker_counts:
+            for count in query_counts:
+                runs.append(run_multi_query(
+                    replace(base, num_queries=count, workers=workers),
+                    engine, stream=stream, graph=graph))
     return runs
 
 
 def format_multi_run(run: MultiQueryRun) -> str:
     """Render one run as the service summary table the CLI prints."""
+    workers = f" workers={run.workers}" if run.workers > 1 else ""
     lines = [
         f"service run: dataset={run.dataset} engine={run.engine} "
-        f"queries={run.num_queries} batch={run.batch_size}",
+        f"queries={run.num_queries} batch={run.batch_size}{workers}",
         f"  {run.edges_ingested} edges in {run.batches} batches, "
         f"{run.elapsed_seconds * 1000.0:.1f} ms "
         f"({run.throughput_eps:.0f} edges/s), "
@@ -193,25 +230,28 @@ def format_multi_run(run: MultiQueryRun) -> str:
 
 
 def format_scaling(runs: Sequence[MultiQueryRun]) -> str:
-    """Render a scaling sweep as a throughput table (engines x counts).
+    """Render a scaling sweep as a throughput table.
 
-    Columns key on the *requested* query count so that two cells whose
+    Rows are engines (split per worker count when the sweep varied it);
+    columns key on the *requested* query count so that two cells whose
     generation fell short of different targets cannot collapse into
     one.
     """
     counts = sorted({r.requested_queries for r in runs})
+    multi_worker = len({r.workers for r in runs}) > 1
     by_key: Dict[object, MultiQueryRun] = {
-        (r.engine, r.requested_queries): r for r in runs}
-    engines = list(dict.fromkeys(r.engine for r in runs))
+        (r.engine, r.workers, r.requested_queries): r for r in runs}
+    rows = list(dict.fromkeys((r.engine, r.workers) for r in runs))
     header = "edges/s by #queries"
     lines = [header,
-             "  " + f"{'engine':<12}"
+             "  " + f"{'engine':<16}"
              + "".join(f"{c:>10}" for c in counts)]
-    for engine in engines:
+    for engine, workers in rows:
+        label = f"{engine} w={workers}" if multi_worker else engine
         cells = []
         for c in counts:
-            run = by_key.get((engine, c))
+            run = by_key.get((engine, workers, c))
             cells.append(f"{run.throughput_eps:>10.0f}" if run else
                          f"{'-':>10}")
-        lines.append("  " + f"{engine:<12}" + "".join(cells))
+        lines.append("  " + f"{label:<16}" + "".join(cells))
     return "\n".join(lines)

@@ -5,8 +5,17 @@ future work."  The natural first parallelization for continuous matching
 is *inter-query*: production deployments register many patterns against
 the same stream, and distinct queries share nothing but the input, so
 they partition perfectly across worker processes.  This module provides
-that: :func:`run_queries_parallel` fans a query set out over a process
-pool (sidestepping the GIL) and collects per-query results.
+the offline batch form: :func:`run_queries_parallel` fans a query set
+out over a process pool and collects per-query results.  (The online
+form — a continuous service sharded across persistent workers — is
+:class:`repro.cluster.ShardedMatchService`.)
+
+Distribution runs on the cluster's shared-payload task plumbing
+(:func:`repro.cluster.tasks.shared_payload_map`): the edge stream is
+pickled once per worker via the pool initializer, and each
+:class:`ParallelTask` carries only its query — previously every task
+re-pickled the entire stream, multiplying serialization cost by the
+query count.
 
 Intra-query parallelism (splitting one query's backtracking across
 workers) would require sharing the DCS/max-min structures and is left as
@@ -16,35 +25,40 @@ boundary explicitly.
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.runner import QueryResult, run_query
+from repro.cluster.tasks import shared_payload_map
 from repro.graph.temporal_graph import Edge
 from repro.query.temporal_query import TemporalQuery
 
 
 @dataclass(frozen=True)
 class ParallelTask:
-    """One (engine, query) unit of work over a shared stream."""
+    """One (engine, query) unit of work; the stream ships separately."""
 
     engine: str
     query: TemporalQuery
+    time_limit: Optional[float]
+
+
+@dataclass(frozen=True)
+class StreamPayload:
+    """The per-worker shared payload: one stream, labels, window."""
+
     labels: Dict[int, object]
     edges: Tuple[Edge, ...]
     delta: int
-    time_limit: Optional[float]
     edge_labels: Optional[Dict[Edge, object]]
 
 
-def _run_task(task: ParallelTask) -> QueryResult:
-    """Worker entry point (must be module-level for pickling)."""
-    edge_label_fn = (task.edge_labels.get
-                     if task.edge_labels is not None else None)
-    return run_query(task.engine, task.query, task.labels,
-                     list(task.edges), task.delta,
+def _run_task(task: ParallelTask, payload: StreamPayload) -> QueryResult:
+    """Worker entry point (module-level so it pickles by reference)."""
+    edge_label_fn = (payload.edge_labels.get
+                     if payload.edge_labels is not None else None)
+    return run_query(task.engine, task.query, payload.labels,
+                     list(payload.edges), payload.delta,
                      time_limit=task.time_limit,
                      edge_label_fn=edge_label_fn)
 
@@ -65,15 +79,9 @@ def run_queries_parallel(engine: str,
     single query) the work runs in-process, which keeps the function
     usable in environments where forking is restricted.
     """
-    tasks = [
-        ParallelTask(engine=engine, query=q, labels=dict(labels),
-                     edges=tuple(edges), delta=delta,
-                     time_limit=time_limit, edge_labels=edge_labels)
-        for q in queries
-    ]
-    if max_workers is None:
-        max_workers = min(len(tasks), os.cpu_count() or 1)
-    if max_workers <= 1 or len(tasks) <= 1:
-        return [_run_task(t) for t in tasks]
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(_run_task, tasks))
+    payload = StreamPayload(labels=dict(labels), edges=tuple(edges),
+                            delta=delta, edge_labels=edge_labels)
+    tasks = [ParallelTask(engine=engine, query=q, time_limit=time_limit)
+             for q in queries]
+    return shared_payload_map(_run_task, tasks, payload,
+                              max_workers=max_workers)

@@ -10,14 +10,20 @@ Usage::
     python -m repro.cli fig11
     python -m repro.cli table5
     python -m repro.cli multi --queries 8 --batch-size 100
+    python -m repro.cli multi --queries 8 --workers 4
+    python -m repro.cli multi --scaling 4 8 16 --workers 1 2 4
 
 The figure/table subcommands regenerate the corresponding evaluation
 artifact of the paper's Section VI at the configured scale and print
 the rendered rows/series.  ``multi`` instead drives the multi-query
-:class:`~repro.service.MatchService`: it registers N mixed-size queries
-over one generated stream, ingests the stream in batches, and prints
-the per-query and service-level counters (optionally saving a JSON
-checkpoint of the final service state).
+matching service: it registers N mixed-size queries over one generated
+stream, ingests the stream in batches, and prints the per-query and
+service-level counters (optionally saving a JSON checkpoint of the
+final service state).  ``--workers 1`` (default) hosts everything in
+the in-process :class:`~repro.service.MatchService`; ``--workers K``
+shards the queries across K worker processes via
+:class:`~repro.cluster.ShardedMatchService`; with ``--scaling``,
+multiple ``--workers`` values sweep the worker count.
 """
 
 from __future__ import annotations
@@ -107,6 +113,12 @@ def build_parser() -> argparse.ArgumentParser:
     pm.add_argument("--window-fraction", type=float, default=0.3,
                     help="window size as a fraction of the stream")
     pm.add_argument("--seed", type=int, default=0)
+    pm.add_argument("--workers", nargs="+", type=int, default=[1],
+                    metavar="N",
+                    help="shard worker processes (default 1 = the "
+                         "in-process service; >1 = the sharded "
+                         "multi-process service); with --scaling, "
+                         "multiple values sweep the worker count")
     pm.add_argument("--scaling", nargs="+", type=int, default=None,
                     metavar="N",
                     help="instead of one run, sweep these query counts "
@@ -140,6 +152,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if command == "multi":
+        if any(w < 1 for w in args.workers):
+            print("error: --workers values must be >= 1", file=sys.stderr)
+            return 2
+        if len(args.workers) > 1 and not args.scaling:
+            print("error: multiple --workers values need --scaling "
+                  "(a single run uses exactly one worker count)",
+                  file=sys.stderr)
+            return 2
         mconfig = MultiQueryConfig(
             dataset=args.dataset,
             stream_edges=args.stream_edges,
@@ -149,6 +169,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             density=args.density,
             window_fraction=args.window_fraction,
             seed=args.seed,
+            workers=args.workers[0],
         )
         try:
             if args.scaling:
@@ -157,7 +178,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                           "not a --scaling sweep", file=sys.stderr)
                     return 2
                 runs = multi_query_scaling([args.engine], args.scaling,
-                                           mconfig)
+                                           mconfig,
+                                           worker_counts=args.workers)
                 print(format_scaling(runs))
             else:
                 run = run_multi_query(mconfig, args.engine,

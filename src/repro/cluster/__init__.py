@@ -1,0 +1,38 @@
+"""Sharded multi-process continuous matching (repro.cluster).
+
+The third layer of the matching stack:
+
+* **engine** (``repro.core`` / ``repro.baselines``) — one query, one
+  window, incremental matching;
+* **service** (``repro.service``) — many queries over one shared
+  window in one process;
+* **cluster** (this package) — the service scaled across CPU cores:
+  a :class:`ShardedMatchService` coordinator partitions registered
+  queries over persistent worker processes, broadcasts every event
+  batch, and merges per-query matches back in arrival order, with the
+  full service contract (mid-stream register/unregister, per-query
+  error isolation plus whole-worker crash quarantine, and composed
+  checkpoint/restore).
+
+``repro.cluster.checkpoint`` persists/restores the sharded service
+(including scale-up/down across worker counts); ``repro.cluster.tasks``
+is the shared-payload pool plumbing reused by the offline batch runner
+in ``repro.bench.parallel``.
+"""
+
+from repro.cluster.coordinator import (
+    ShardedMatchService, ShardedQueryEntry, WorkerCrashError,
+)
+from repro.cluster.placement import ShardPlacement
+from repro.cluster.tasks import shared_payload_map
+from repro.cluster.checkpoint import (
+    as_service_snapshot, load_checkpoint, restore, save_checkpoint,
+    snapshot,
+)
+
+__all__ = [
+    "ShardedMatchService", "ShardedQueryEntry", "WorkerCrashError",
+    "ShardPlacement", "shared_payload_map",
+    "as_service_snapshot", "load_checkpoint", "restore",
+    "save_checkpoint", "snapshot",
+]

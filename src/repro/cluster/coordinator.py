@@ -1,0 +1,620 @@
+"""The sharded multi-process continuous matching service.
+
+``ShardedMatchService`` scales the PR-1 :class:`~repro.service.
+MatchService` across CPU cores — the parallelization the paper names as
+future work, applied to the *service* deployment model rather than the
+offline batch benchmarks.  N persistent worker processes each host a
+full ``MatchService`` over a shard of the registered queries; the
+coordinator broadcasts every chronological event batch to every live
+worker (one stream, one shared window — every engine must see every
+edge) and merges the per-shard results back into global event order.
+
+Consistency model
+-----------------
+Workers ingest identical streams, so their window cursors (``now``,
+``seq``) advance in lockstep with the coordinator's own mirror; a query
+registered mid-stream joins at the same global sequence number it would
+have joined in a single-process service.  Per-query occurrence and
+expiration multisets are therefore *identical* to the in-process
+service, and merged notifications are re-ordered exactly as a single
+service would have emitted them, using the total event order
+``(event time, kind, arrival seq)`` with the coordinator's global
+registration order breaking ties within one event.
+
+Isolation layers
+----------------
+* engine/per-query failure: quarantined inside the owning worker's
+  service (exact single-process contract), surfaced on the next reply;
+* subscriber failure: subscribers run coordinator-side; a failing
+  callback quarantines its query here *and* in the owning worker.
+  Because delivery happens after a batch's replies are merged, this
+  isolation is batch-granular (the single-process service stops
+  mid-batch) — and for the same reason, a register/unregister issued
+  from *inside* a subscriber callback takes effect at the batch
+  boundary, where the single-process service applies it mid-fan-out
+  (a callback-registered query first sees the *next* batch here);
+* worker crash: a broken pipe quarantines the whole shard — its
+  queries flip to errored with a crash message, the remaining shards
+  keep serving, and new registrations route around the dead worker.
+
+Lifecycle: the service owns OS processes, so call :meth:`close` (or use
+it as a context manager) when done.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.cluster import protocol
+from repro.cluster.placement import ShardPlacement
+from repro.cluster.protocol import (
+    QueryFinalState, RegisterSpec, Reply, make_exception,
+)
+from repro.cluster.worker import shard_worker_main
+from repro.graph.temporal_graph import Edge
+from repro.query.temporal_query import TemporalQuery
+from repro.service.registry import QueryStatus
+from repro.service.service import MatchNotification, OutOfOrderError
+from repro.service.stats import QueryStats, ServiceStats
+from repro.streaming.driver import StreamResult
+
+
+class WorkerCrashError(RuntimeError):
+    """A shard worker died while handling a request."""
+
+
+@dataclass
+class _QueryInfo:
+    """Coordinator-side mirror of one registered query."""
+
+    query_id: str
+    query: TemporalQuery
+    labels: Dict[int, object]
+    engine_kind: str
+    custom_factory: bool
+    shard: int
+    reg_index: int
+    collect_results: bool
+    has_edge_label_fn: bool
+    subscribers: List[Callable] = field(default_factory=list)
+    status: QueryStatus = QueryStatus.ACTIVE
+    error: Optional[str] = None
+
+    @property
+    def active(self) -> bool:
+        return self.status is QueryStatus.ACTIVE
+
+
+@dataclass
+class ShardedQueryEntry:
+    """A query's externally visible state (returned by unregister/get)."""
+
+    query_id: str
+    query: TemporalQuery
+    labels: Dict[int, object]
+    engine_kind: str
+    shard: int
+    status: QueryStatus
+    error: Optional[str]
+    stats: QueryStats
+    result: Optional[StreamResult]
+
+    @property
+    def active(self) -> bool:
+        return self.status is QueryStatus.ACTIVE
+
+
+@dataclass
+class _WorkerHandle:
+    index: int
+    process: object
+    conn: object
+    alive: bool = True
+
+
+def _pick_context(start_method: Optional[str]):
+    """Fork when available: child processes inherit the parent's modules,
+    so callable engine factories and ``edge_label_fn`` closures defined
+    anywhere importable-by-reference keep working across the pipe."""
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
+
+
+class ShardedMatchService:
+    """Hosts N continuous queries across ``workers`` shard processes.
+
+    Mirrors the :class:`~repro.service.MatchService` surface —
+    ``register`` / ``unregister`` / ``subscribe`` / ``ingest`` /
+    ``advance_to`` / ``drain`` / ``query_stats`` — plus cluster
+    operations (``live_workers``, ``shard_of``, ``close``).  Engine
+    kinds are resolved inside the workers; callable factories and
+    ``edge_label_fn`` must be picklable.
+    """
+
+    def __init__(self, delta: int, *, workers: int = 2,
+                 start_method: Optional[str] = None):
+        if delta <= 0:
+            raise ValueError("window size delta must be positive")
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.delta = delta
+        self.stats = ServiceStats()
+        self._queries: Dict[str, _QueryInfo] = {}
+        self._placement = ShardPlacement(workers)
+        self._ids = itertools.count()
+        self._reg_counter = itertools.count()
+        self._now: Optional[int] = None
+        self._seq = 0
+        self._closed = False
+        ctx = _pick_context(start_method)
+        self._workers: List[_WorkerHandle] = []
+        for index in range(workers):
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=shard_worker_main, args=(child_conn, delta),
+                name=f"repro-shard-{index}", daemon=True)
+            process.start()
+            child_conn.close()
+            self._workers.append(_WorkerHandle(index, process, parent_conn))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> Optional[int]:
+        """The stream high-water mark (None before any edge)."""
+        return self._now
+
+    @property
+    def seq(self) -> int:
+        """Number of arrivals ingested so far (the join cursor)."""
+        return self._seq
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def live_workers(self) -> int:
+        return sum(1 for handle in self._workers if handle.alive)
+
+    def shard_of(self, query_id: str) -> int:
+        """The shard hosting ``query_id``."""
+        self._get_info(query_id)
+        return self._placement.shard_of(query_id)
+
+    def registered_ids(self) -> List[str]:
+        """All registered query ids in registration order."""
+        return [info.query_id for info in self._infos_in_order()]
+
+    def __contains__(self, query_id: str) -> bool:
+        return query_id in self._queries
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    # ------------------------------------------------------------------
+    # Registration façade
+    # ------------------------------------------------------------------
+    def register(self, query: TemporalQuery, labels: Dict[int, object],
+                 engine: object = "tcm", *,
+                 query_id: Optional[str] = None,
+                 edge_label_fn: Optional[Callable] = None,
+                 subscriber: Optional[Callable] = None,
+                 collect_results: bool = True) -> str:
+        """Register a continuous query on the least-loaded live shard.
+
+        Safe mid-stream: the owning worker assigns the join cursor from
+        its own stream position, which equals the global one.  Returns
+        the query id.
+        """
+        self._ensure_open()
+        spec = RegisterSpec(
+            query_id=self._new_query_id(query_id), query=query,
+            labels=dict(labels), engine=engine,
+            edge_label_fn=edge_label_fn, collect_results=collect_results)
+        info = self._register_spec(spec, subscriber=subscriber)
+        self.stats.registered_total += 1
+        return info.query_id
+
+    def unregister(self, query_id: str) -> ShardedQueryEntry:
+        """Retire a query mid-stream; returns its final entry (with
+        stats and any worker-collected results).  A query stranded on a
+        crashed shard is returned in its errored state (its counters
+        died with the worker)."""
+        try:
+            info = self._queries.pop(query_id)
+        except KeyError:
+            raise KeyError(f"no registered query {query_id!r}") from None
+        shard = self._placement.remove(query_id)
+        self.stats.unregistered_total += 1
+        if not self._workers[shard].alive:
+            return self._lost_entry(info, shard)
+        try:
+            reply = self._request(shard, (protocol.UNREGISTER, query_id))
+        except WorkerCrashError:
+            return self._lost_entry(info, shard)
+        final: QueryFinalState = reply.payload
+        return ShardedQueryEntry(
+            query_id, info.query, info.labels, info.engine_kind, shard,
+            QueryStatus(final.status), final.error, final.stats,
+            final.result)
+
+    def subscribe(self, query_id: str,
+                  callback: Callable[[MatchNotification], None]) -> None:
+        """Attach ``callback`` to a query's merged result feed
+        (subscribers run in the coordinator process)."""
+        self._get_info(query_id).subscribers.append(callback)
+
+    def get(self, query_id: str) -> ShardedQueryEntry:
+        """A live view of one query (stats and results fetched from the
+        owning worker; placeholders for queries lost to a crash)."""
+        info = self._get_info(query_id)
+        if self._workers[info.shard].alive:
+            try:
+                reply = self._request(info.shard,
+                                      (protocol.DESCRIBE, query_id))
+            except WorkerCrashError:
+                reply = None
+            if reply is not None:
+                final: QueryFinalState = reply.payload
+                return ShardedQueryEntry(
+                    query_id, info.query, info.labels, info.engine_kind,
+                    info.shard, QueryStatus(final.status), final.error,
+                    final.stats, final.result)
+        return self._lost_entry(info, info.shard)
+
+    def query_stats(self, query_id: str) -> QueryStats:
+        """The :class:`QueryStats` of one registered query.
+
+        Ships only the counters over the pipe — unlike :meth:`get`,
+        which also fetches the query's full collected
+        :class:`StreamResult` (O(matches) to serialize), so this is the
+        right call for periodic stats polling on a hot stream.
+        """
+        info = self._get_info(query_id)
+        if self._workers[info.shard].alive:
+            try:
+                reply = self._request(info.shard,
+                                      (protocol.QUERY_STATS, query_id))
+            except WorkerCrashError:
+                return self._lost_stats(info)
+            return reply.payload
+        return self._lost_stats(info)
+
+    def all_query_stats(self) -> List[QueryStats]:
+        """Per-query stats for every registered query, in registration
+        order (one stats fetch per live shard)."""
+        replies = self._broadcast((protocol.STATS, None))
+        by_query: Dict[str, QueryStats] = {}
+        for reply in replies.values():
+            _, per_query = reply.payload
+            by_query.update(per_query)
+        out = []
+        for info in self._infos_in_order():
+            stats = by_query.get(info.query_id)
+            if stats is None:
+                stats = self._lost_stats(info)
+            out.append(stats)
+        return out
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, edges: Iterable[Edge]) -> List[MatchNotification]:
+        """Broadcast one chronological batch to every live shard.
+
+        The coordinator validates stream order *before* broadcasting,
+        so shards never diverge: on an out-of-order edge the accepted
+        prefix is processed everywhere and :class:`OutOfOrderError` is
+        raised with the prefix's merged notifications, exactly like the
+        in-process service.
+        """
+        self._ensure_open()
+        edges = list(edges)
+        start = time.perf_counter()
+        try:
+            prefix, failure = self._validated_prefix(edges)
+            notifications: List[MatchNotification] = []
+            if prefix:
+                notifications = self._collect(
+                    self._broadcast((protocol.INGEST, prefix)))
+                self._now = prefix[-1].t
+                self._seq += len(prefix)
+                self.stats.edges_ingested += len(prefix)
+            self._deliver(notifications)
+        finally:
+            self.stats.batches += 1
+            self.stats.elapsed_seconds += time.perf_counter() - start
+        if failure is not None:
+            raise OutOfOrderError(failure, notifications)
+        return notifications
+
+    def advance_to(self, t: int) -> List[MatchNotification]:
+        """Advance the clock to ``t`` without ingesting edges, expiring
+        every edge whose window has closed."""
+        self._ensure_open()
+        start = time.perf_counter()
+        if self._now is None or t > self._now:
+            self._now = t
+        notifications = self._collect(
+            self._broadcast((protocol.ADVANCE, t)))
+        self._deliver(notifications)
+        self.stats.elapsed_seconds += time.perf_counter() - start
+        return notifications
+
+    def drain(self) -> List[MatchNotification]:
+        """Expire every remaining live edge (end of stream); like the
+        in-process service, the arrival cursor is left untouched."""
+        self._ensure_open()
+        start = time.perf_counter()
+        notifications = self._collect(
+            self._broadcast((protocol.DRAIN, None)))
+        self._deliver(notifications)
+        self.stats.elapsed_seconds += time.perf_counter() - start
+        return notifications
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop and reap every worker process.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers:
+            if not handle.alive:
+                continue
+            try:
+                handle.conn.send((protocol.STOP, None))
+                # Bounded: a wedged worker must not hang close() (the
+                # join/terminate below reaps it regardless).
+                if handle.conn.poll(timeout=5):
+                    handle.conn.recv()
+            except (OSError, EOFError, BrokenPipeError):
+                pass
+        for handle in self._workers:
+            handle.process.join(timeout=5)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            handle.alive = False
+
+    def __enter__(self) -> "ShardedMatchService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Checkpoint hooks (used by repro.cluster.checkpoint)
+    # ------------------------------------------------------------------
+    def shard_snapshots(self) -> Dict[int, Dict[str, object]]:
+        """Per-live-shard :mod:`repro.service.checkpoint` snapshots."""
+        replies = self._broadcast((protocol.SNAPSHOT, None))
+        return {shard: reply.payload for shard, reply in replies.items()}
+
+    def _infos_in_order(self) -> List[_QueryInfo]:
+        return sorted(self._queries.values(), key=lambda i: i.reg_index)
+
+    def _register_spec(self, spec: RegisterSpec,
+                       subscriber: Optional[Callable] = None) -> _QueryInfo:
+        """Place and register one spec; shared by live registration and
+        checkpoint restore (which carries status/stats extras)."""
+        custom = callable(spec.engine) and not isinstance(spec.engine, str)
+        kind = (getattr(spec.engine, "__name__", "custom") if custom
+                else str(spec.engine))
+        shard = self._placement.place(spec.query_id)
+        try:
+            self._request(shard, (protocol.REGISTER, spec))
+        except Exception:
+            self._placement.remove(spec.query_id)
+            raise
+        info = _QueryInfo(
+            query_id=spec.query_id, query=spec.query,
+            labels=dict(spec.labels), engine_kind=kind,
+            custom_factory=custom, shard=shard,
+            reg_index=next(self._reg_counter),
+            collect_results=spec.collect_results,
+            has_edge_label_fn=spec.edge_label_fn is not None)
+        if spec.status is not None:
+            info.status = QueryStatus(spec.status)
+            info.error = spec.error
+        if subscriber is not None:
+            info.subscribers.append(subscriber)
+        self._queries[spec.query_id] = info
+        return info
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("service is closed")
+
+    def _get_info(self, query_id: str) -> _QueryInfo:
+        try:
+            return self._queries[query_id]
+        except KeyError:
+            raise KeyError(f"no registered query {query_id!r}") from None
+
+    def _new_query_id(self, query_id: Optional[str]) -> str:
+        if query_id is None:
+            query_id = f"q{next(self._ids)}"
+            while query_id in self._queries:
+                query_id = f"q{next(self._ids)}"
+        elif query_id in self._queries:
+            raise ValueError(f"query id {query_id!r} already registered")
+        return query_id
+
+    def _validated_prefix(self, edges: List[Edge]):
+        """Split a batch at the first out-of-order edge (if any)."""
+        now = self._now
+        for index, edge in enumerate(edges):
+            if now is not None and edge.t < now:
+                return edges[:index], (
+                    f"out-of-order arrival: t={edge.t} after now={now}")
+            now = edge.t
+        return edges, None
+
+    def _lost_entry(self, info: _QueryInfo,
+                    shard: int) -> ShardedQueryEntry:
+        return ShardedQueryEntry(
+            info.query_id, info.query, info.labels, info.engine_kind,
+            shard, QueryStatus.ERRORED,
+            info.error or f"worker {shard} crashed",
+            self._lost_stats(info), None)
+
+    def _lost_stats(self, info: _QueryInfo) -> QueryStats:
+        return QueryStats(query_id=info.query_id, engine=info.engine_kind,
+                          errors=1 if not info.active else 0)
+
+    # -- RPC core ------------------------------------------------------
+    def _request(self, shard: int, message) -> Reply:
+        """One request/reply exchange with one worker."""
+        handle = self._workers[shard]
+        if not handle.alive:
+            raise WorkerCrashError(f"shard {shard} worker is dead")
+        try:
+            handle.conn.send(message)
+            reply: Reply = handle.conn.recv()
+        except (EOFError, OSError, BrokenPipeError,
+                ConnectionResetError) as exc:
+            self._quarantine_shard(shard, exc)
+            raise WorkerCrashError(
+                f"shard {shard} worker died mid-request "
+                f"({type(exc).__name__})") from exc
+        self._apply_errors(reply.errors)
+        self.stats.events_routed += reply.routed
+        if reply.failure is not None:
+            raise make_exception(reply.failure)
+        return reply
+
+    def _broadcast(self, message) -> Dict[int, Reply]:
+        """Send ``message`` to every live worker, then collect replies.
+
+        Sends complete before the first receive, so workers process the
+        batch concurrently; a worker that dies at either step is
+        quarantined and simply missing from the result.
+        """
+        sent: List[_WorkerHandle] = []
+        for handle in self._workers:
+            if not handle.alive:
+                continue
+            try:
+                handle.conn.send(message)
+                sent.append(handle)
+            except (OSError, BrokenPipeError) as exc:
+                self._quarantine_shard(handle.index, exc)
+        replies: Dict[int, Reply] = {}
+        failure = None
+        for handle in sent:
+            try:
+                reply: Reply = handle.conn.recv()
+            except (EOFError, OSError, ConnectionResetError) as exc:
+                self._quarantine_shard(handle.index, exc)
+                continue
+            self._apply_errors(reply.errors)
+            self.stats.events_routed += reply.routed
+            if reply.failure is not None:
+                failure = failure or reply.failure
+            else:
+                replies[handle.index] = reply
+        if failure is not None:
+            raise make_exception(failure)
+        return replies
+
+    def _quarantine_shard(self, shard: int, cause: BaseException) -> None:
+        """A worker died: flip its shard and every query on it."""
+        handle = self._workers[shard]
+        if not handle.alive:
+            return
+        handle.alive = False
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        if handle.process.is_alive():
+            handle.process.terminate()
+        for query_id in self._placement.quarantine(shard):
+            info = self._queries.get(query_id)
+            if info is None or not info.active:
+                continue
+            info.status = QueryStatus.ERRORED
+            info.error = (f"worker {shard} crashed "
+                          f"({type(cause).__name__})")
+            self.stats.errored_queries += 1
+
+    def _apply_errors(self, errors: Tuple[Tuple[str, str], ...]) -> None:
+        """Mirror worker-side quarantines announced on a reply."""
+        for query_id, error in errors:
+            info = self._queries.get(query_id)
+            if info is None or not info.active:
+                continue
+            info.status = QueryStatus.ERRORED
+            info.error = error
+            self.stats.errored_queries += 1
+
+    # -- merge + delivery ----------------------------------------------
+    def _collect(self, replies: Dict[int, Reply]
+                 ) -> List[MatchNotification]:
+        """Merge per-shard notification lists into global event order."""
+        notifications: List[MatchNotification] = []
+        for reply in replies.values():
+            notifications.extend(reply.payload)
+        if len(replies) > 1:
+            reg_index = {query_id: info.reg_index
+                         for query_id, info in self._queries.items()}
+            notifications.sort(key=lambda n: (
+                n.event.time, n.event.is_arrival, n.seq,
+                reg_index.get(n.query_id, -1)))
+        return notifications
+
+    def _deliver(self, notifications: List[MatchNotification]) -> None:
+        """Run coordinator-side subscribers over the merged feed."""
+        muted: set = set()
+        for notification in notifications:
+            if notification.query_id in muted:
+                continue
+            info = self._queries.get(notification.query_id)
+            if info is None or not info.subscribers:
+                continue
+            for callback in list(info.subscribers):
+                try:
+                    callback(notification)
+                except Exception as exc:  # noqa: BLE001 - isolation
+                    muted.add(notification.query_id)
+                    self._quarantine_query(info, exc)
+                    break
+
+    def _quarantine_query(self, info: _QueryInfo,
+                          exc: BaseException) -> None:
+        """A subscriber failed: quarantine here and in the worker."""
+        if not info.active:
+            return
+        info.status = QueryStatus.ERRORED
+        info.error = f"{type(exc).__name__}: {exc}"
+        self.stats.errored_queries += 1
+        if self._workers[info.shard].alive:
+            try:
+                self._request(info.shard, (protocol.QUARANTINE,
+                                           (info.query_id, info.error)))
+            except (WorkerCrashError, KeyError):
+                pass

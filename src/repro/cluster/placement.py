@@ -1,0 +1,79 @@
+"""Shard placement: which worker hosts which query.
+
+The policy is least-loaded-first with the lowest shard index as the tie
+break, which keeps placement deterministic (important for the
+equivalence tests and for reproducible benchmarks) while spreading a
+dynamically registered/retired query population evenly.  Quarantined
+shards stop receiving placements but keep their membership records, so
+the coordinator can still enumerate (and unregister) the queries that
+were lost with a crashed worker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class ShardPlacement:
+    """Tracks query -> shard assignments across ``num_shards`` shards."""
+
+    def __init__(self, num_shards: int):
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        # Ordered membership per shard (dict-as-ordered-set keeps
+        # enumeration deterministic).
+        self._members: Dict[int, Dict[str, None]] = {
+            shard: {} for shard in range(num_shards)}
+        self._shard_of: Dict[str, int] = {}
+        self._quarantined: set = set()
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._members)
+
+    def live_shards(self) -> List[int]:
+        """Shards still eligible for placement, in index order."""
+        return [s for s in self._members if s not in self._quarantined]
+
+    def place(self, query_id: str) -> int:
+        """Assign ``query_id`` to the least-loaded live shard."""
+        if query_id in self._shard_of:
+            raise ValueError(f"query {query_id!r} already placed")
+        live = self.live_shards()
+        if not live:
+            raise RuntimeError("no live shards left to place queries on")
+        shard = min(live, key=lambda s: (len(self._members[s]), s))
+        self._members[shard][query_id] = None
+        self._shard_of[query_id] = shard
+        return shard
+
+    def remove(self, query_id: str) -> int:
+        """Drop ``query_id``; returns the shard that hosted it."""
+        shard = self._shard_of.pop(query_id)
+        self._members[shard].pop(query_id, None)
+        return shard
+
+    def shard_of(self, query_id: str) -> int:
+        """The shard hosting ``query_id``; raises ``KeyError`` if absent."""
+        return self._shard_of[query_id]
+
+    def members(self, shard: int) -> List[str]:
+        """Query ids on ``shard``, in placement order."""
+        return list(self._members[shard])
+
+    def quarantine(self, shard: int) -> List[str]:
+        """Mark ``shard`` dead; returns the queries stranded on it.
+
+        Membership is kept so the stranded queries remain enumerable
+        (their entries survive coordinator-side with errored status).
+        """
+        self._quarantined.add(shard)
+        return list(self._members[shard])
+
+    def is_quarantined(self, shard: int) -> bool:
+        return shard in self._quarantined
+
+    def loads(self) -> Dict[int, int]:
+        """Current per-shard query counts (all shards, dead included)."""
+        return {shard: len(members)
+                for shard, members in self._members.items()}

@@ -1,0 +1,108 @@
+"""Wire protocol between the cluster coordinator and its shard workers.
+
+Messages travel over ``multiprocessing.Pipe`` connections, so payloads
+are pickled: everything crossing the wire is either a plain value or
+one of the dataclasses below (queries, edges, events, matches and stats
+are all pickle-friendly dataclasses already).  Callables may appear in
+a :class:`RegisterSpec` (engine factories, ``edge_label_fn``) and must
+then be picklable — module-level functions or bound methods of
+picklable objects such as ``some_dict.get``.
+
+A request is a ``(verb, payload)`` tuple; every request gets exactly
+one :class:`Reply`.  The strict request/reply lockstep is what makes
+the coordinator's crash detection sound: a worker that dies leaves a
+broken pipe where its reply should be, never a half-processed queue.
+
+Replies piggyback two bookkeeping fields so the coordinator's mirror
+stays current without extra round trips: ``errors`` lists queries newly
+quarantined by the worker's inner service during the operation, and
+``routed`` is the number of (event, query) routings the worker
+performed, which keeps the coordinator's ``events_routed`` counter in
+lockstep with a single-process :class:`~repro.service.MatchService`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.query.temporal_query import TemporalQuery
+from repro.service.stats import QueryStats
+from repro.streaming.driver import StreamResult
+
+# Request verbs -------------------------------------------------------
+REGISTER = "register"        # payload: RegisterSpec
+UNREGISTER = "unregister"    # payload: query_id
+DESCRIBE = "describe"        # payload: query_id (non-destructive)
+QUERY_STATS = "query_stats"  # payload: query_id
+QUARANTINE = "quarantine"    # payload: (query_id, error message)
+CURSOR = "cursor"            # payload: (now, seq) — checkpoint restore
+INGEST = "ingest"            # payload: list of edges (validated prefix)
+ADVANCE = "advance"          # payload: timestamp
+DRAIN = "drain"              # payload: None
+STATS = "stats"              # payload: None
+SNAPSHOT = "snapshot"        # payload: None
+STOP = "stop"                # payload: None
+
+
+@dataclass(frozen=True)
+class RegisterSpec:
+    """Everything a worker needs to host one query.
+
+    The restore-time extras (``status``/``error``/``stats``) let a
+    checkpoint rebuild a query in its quarantined state with its
+    historical counters; they are ``None`` for live registrations.
+    """
+
+    query_id: str
+    query: TemporalQuery
+    labels: Dict[int, object]
+    engine: object                       # kind name or picklable factory
+    edge_label_fn: Optional[Callable] = None
+    collect_results: bool = True
+    status: Optional[str] = None
+    error: Optional[str] = None
+    stats: Optional[Dict[str, object]] = None
+
+
+@dataclass(frozen=True)
+class QueryFinalState:
+    """A worker's view of one query: status, counters and results."""
+
+    status: str
+    error: Optional[str]
+    stats: QueryStats
+    result: Optional[StreamResult]
+
+
+@dataclass(frozen=True)
+class Reply:
+    """One worker response.
+
+    ``failure`` is ``(exception type name, message)`` when the request
+    itself failed (unknown query id, unknown engine kind, ...); the
+    coordinator re-raises it via :func:`make_exception`.  Per-query
+    engine failures are *not* failures of the request — they arrive in
+    ``errors`` while the request succeeds, exactly like the in-process
+    service quarantining a query mid-batch.
+    """
+
+    payload: object = None
+    errors: Tuple[Tuple[str, str], ...] = ()
+    routed: int = 0
+    failure: Optional[Tuple[str, str]] = None
+
+
+#: Exception types a worker may legitimately propagate to the caller.
+_EXCEPTION_TYPES = {
+    "ValueError": ValueError,
+    "KeyError": KeyError,
+    "TypeError": TypeError,
+    "RuntimeError": RuntimeError,
+}
+
+
+def make_exception(failure: Tuple[str, str]) -> Exception:
+    """Rebuild a caller-facing exception from a reply's failure pair."""
+    name, message = failure
+    return _EXCEPTION_TYPES.get(name, RuntimeError)(message)

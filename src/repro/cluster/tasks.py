@@ -1,0 +1,64 @@
+"""Shared-payload worker pools: the cluster's one-shot task plumbing.
+
+The persistent shard workers (:mod:`repro.cluster.worker`) and the
+offline batch runner (:mod:`repro.bench.parallel`) share the same
+distribution problem: many small tasks over one large immutable payload
+(the edge stream).  Serializing the payload per *task* — what the old
+``bench.parallel`` did — multiplies pickling cost by the task count;
+the correct unit is per *worker*.  The persistent workers achieve that
+by construction (each batch crosses each pipe once); this module is the
+equivalent for pool-style one-shot runs: the payload is pickled exactly
+once per worker via the pool initializer, and tasks stay tiny.
+
+``fn`` must be a module-level callable of ``(task, payload)`` (pickled
+by reference, like any multiprocessing target).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+Task = TypeVar("Task")
+Result = TypeVar("Result")
+
+#: Per-worker-process slot for the shared payload, set by the pool
+#: initializer before the first task runs in that process.
+_PAYLOAD: object = None
+
+
+def _initializer(payload: object) -> None:
+    global _PAYLOAD
+    _PAYLOAD = payload
+
+
+def _invoke(packed):
+    fn, task = packed
+    return fn(task, _PAYLOAD)
+
+
+def shared_payload_map(fn: Callable[[Task, object], Result],
+                       tasks: Sequence[Task],
+                       payload: object,
+                       max_workers: Optional[int] = None,
+                       mp_context=None) -> List[Result]:
+    """``[fn(task, payload) for task in tasks]`` across worker processes.
+
+    The payload is shipped once per worker (pool initializer), tasks
+    are chunked to amortize per-task IPC, and results come back in task
+    order.  With ``max_workers=1`` (or a single task) the work runs
+    in-process, which keeps callers usable where forking is restricted.
+    """
+    tasks = list(tasks)
+    if max_workers is None:
+        max_workers = min(len(tasks), os.cpu_count() or 1)
+    if max_workers <= 1 or len(tasks) <= 1:
+        return [fn(task, payload) for task in tasks]
+    chunksize = max(1, len(tasks) // (max_workers * 4))
+    with ProcessPoolExecutor(max_workers=max_workers,
+                             mp_context=mp_context,
+                             initializer=_initializer,
+                             initargs=(payload,)) as pool:
+        return list(pool.map(_invoke, [(fn, task) for task in tasks],
+                             chunksize=chunksize))

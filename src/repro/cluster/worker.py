@@ -1,0 +1,155 @@
+"""Shard worker: one process hosting a full :class:`MatchService`.
+
+Every worker owns the complete service machinery — engines, per-query
+quarantine, stats, checkpointing — over its *shard* of the registered
+queries, while receiving the *whole* event stream (all queries share
+one window over one stream, so every worker must see every edge; what
+is partitioned is the fan-out work, which is where the time goes).
+
+Failure layers, innermost first:
+
+* an engine or per-query failure is absorbed by the inner
+  :class:`~repro.service.MatchService` (the query is quarantined, the
+  rest of the shard keeps matching) and reported in the reply's
+  ``errors`` field;
+* an exception escaping the dispatcher (unknown query id, unknown
+  engine kind) becomes a ``Reply.failure`` and the worker keeps
+  serving;
+* a ``BaseException`` (``SystemExit``, a segfaulting C extension, an
+  OOM kill) takes the whole process down, which the coordinator
+  observes as a broken pipe and answers by quarantining the shard.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.cluster import protocol
+from repro.cluster.protocol import QueryFinalState, RegisterSpec, Reply
+from repro.service import checkpoint as service_checkpoint
+from repro.service.registry import QueryStatus
+from repro.service.service import MatchService
+from repro.service.stats import QueryStats
+
+
+class ShardWorker:
+    """Dispatcher around one shard's :class:`MatchService`."""
+
+    def __init__(self, delta: int):
+        self.service = MatchService(delta)
+        # Quarantines already reported (or initiated by the
+        # coordinator): only *new* errors ride back on replies.
+        self._reported: set = set()
+        self._routed_seen = 0
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, verb: str, payload: object) -> object:
+        service = self.service
+        if verb == protocol.INGEST:
+            return service.ingest(payload)
+        if verb == protocol.ADVANCE:
+            return service.advance_to(payload)
+        if verb == protocol.DRAIN:
+            return service.drain()
+        if verb == protocol.REGISTER:
+            return self._register(payload)
+        if verb == protocol.UNREGISTER:
+            entry = service.unregister(payload)
+            return QueryFinalState(entry.status.value, entry.error,
+                                   entry.stats, entry.result)
+        if verb == protocol.DESCRIBE:
+            entry = service.registry.get(payload)
+            return QueryFinalState(entry.status.value, entry.error,
+                                   entry.stats, entry.result)
+        if verb == protocol.QUERY_STATS:
+            return service.registry.get(payload).stats
+        if verb == protocol.QUARANTINE:
+            return self._quarantine(payload)
+        if verb == protocol.CURSOR:
+            # Checkpoint restore: adopt the snapshot's stream cursor so
+            # sequence numbers (and hence notification ordering keys)
+            # continue exactly where the checkpointed service stopped.
+            service._now, service._seq = payload[0], int(payload[1])
+            return None
+        if verb == protocol.STATS:
+            return (service.stats,
+                    {e.query_id: e.stats for e in service.registry.list()})
+        if verb == protocol.SNAPSHOT:
+            return service_checkpoint.snapshot(service)
+        if verb == protocol.STOP:
+            return None
+        raise ValueError(f"unknown request verb {verb!r}")
+
+    def _register(self, spec: RegisterSpec) -> str:
+        query_id = self.service.register(
+            spec.query, spec.labels, spec.engine,
+            query_id=spec.query_id, edge_label_fn=spec.edge_label_fn,
+            collect_results=spec.collect_results)
+        if spec.stats is not None or spec.status is not None:
+            # Checkpoint restore: rehydrate historical counters/status.
+            entry = self.service.registry.get(query_id)
+            if spec.stats is not None:
+                entry.stats = QueryStats(**spec.stats)
+            if spec.status is not None:
+                entry.status = QueryStatus(spec.status)
+                entry.error = spec.error
+                if not entry.active:
+                    self._reported.add(query_id)
+        return query_id
+
+    def _quarantine(self, payload: Tuple[str, str]) -> None:
+        """Coordinator-initiated quarantine (a subscriber failed on the
+        coordinator side; stop routing events to the query here)."""
+        query_id, message = payload
+        entry = self.service.registry.get(query_id)
+        if entry.active:
+            entry.status = QueryStatus.ERRORED
+            entry.error = message
+            entry.stats.errors += 1
+        self._reported.add(query_id)
+        return None
+
+    # ------------------------------------------------------------------
+    # Reply bookkeeping
+    # ------------------------------------------------------------------
+    def new_errors(self) -> Tuple[Tuple[str, str], ...]:
+        """Queries quarantined by the inner service since last reply."""
+        fresh = []
+        for entry in self.service.registry.list():
+            if not entry.active and entry.query_id not in self._reported:
+                self._reported.add(entry.query_id)
+                fresh.append((entry.query_id, entry.error or "errored"))
+        return tuple(fresh)
+
+    def routed_delta(self) -> int:
+        """(event, query) routings performed since the last reply."""
+        current = self.service.stats.events_routed
+        delta, self._routed_seen = current - self._routed_seen, current
+        return delta
+
+
+def shard_worker_main(conn, delta: int) -> None:
+    """Worker process entry point: strict request/reply loop."""
+    worker = ShardWorker(delta)
+    while True:
+        try:
+            verb, payload = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            break
+        try:
+            result = worker.dispatch(verb, payload)
+            reply = Reply(payload=result, errors=worker.new_errors(),
+                          routed=worker.routed_delta())
+        except Exception as exc:  # noqa: BLE001 - request-level boundary
+            reply = Reply(errors=worker.new_errors(),
+                          routed=worker.routed_delta(),
+                          failure=(type(exc).__name__, str(exc)))
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+        if verb == protocol.STOP:
+            break
+    conn.close()

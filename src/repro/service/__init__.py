@@ -5,6 +5,12 @@ stream and fans events out to N registered queries, each backed by its
 own engine (TCM or any baseline from the benchmark registry).  Queries
 register and retire at runtime; failures are isolated per query; the
 whole registry checkpoints to JSON for restart/resume.
+
+This is the single-process middle layer of the matching stack
+(engine -> service -> cluster): :mod:`repro.cluster` shards one
+logical service of this shape across worker processes, with each
+worker hosting a full ``MatchService`` over its shard and the cluster
+checkpoint composed from the per-shard snapshots defined here.
 """
 
 from repro.service.stats import QueryStats, ServiceStats

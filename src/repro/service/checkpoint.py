@@ -38,6 +38,48 @@ from repro.service.stats import QueryStats, ServiceStats
 FORMAT = "repro.service.checkpoint/1"
 
 
+def encode_query_spec(*, query_id: str, query: TemporalQuery,
+                      labels: Dict[int, object], engine_kind: str,
+                      status: str, error: Optional[str],
+                      has_edge_label_fn: bool, has_subscribers: bool,
+                      collect_results: bool,
+                      stats: Dict[str, object]) -> Dict[str, object]:
+    """One query's JSON-ready checkpoint record (shared with the
+    cluster checkpoint, which encodes queries the service layer cannot
+    see — e.g. those stranded on a crashed shard worker)."""
+    return {
+        "query_id": query_id,
+        "engine": engine_kind,
+        "status": status,
+        "error": error,
+        "has_edge_label_fn": has_edge_label_fn,
+        "has_subscribers": has_subscribers,
+        "collect_results": collect_results,
+        "labels": list(query.labels),
+        "edges": [[e.u, e.v] for e in query.edges],
+        "order_pairs": [list(p) for p in query.order.pairs()],
+        "directed": query.directed,
+        "edge_labels": (list(query.edge_labels)
+                        if any(l is not None for l in query.edge_labels)
+                        else None),
+        "data_labels": {str(v): l for v, l in labels.items()},
+        "stats": stats,
+    }
+
+
+def decode_query_spec(spec: Dict[str, object]
+                      ) -> "tuple[TemporalQuery, Dict[int, object]]":
+    """Rebuild ``(query, data_labels)`` from a checkpoint record."""
+    query = TemporalQuery(
+        labels=spec["labels"],
+        edges=[tuple(e) for e in spec["edges"]],
+        order_pairs=[tuple(p) for p in spec["order_pairs"]],
+        directed=spec["directed"],
+        edge_labels=spec["edge_labels"],
+    )
+    return query, {int(v): l for v, l in spec["data_labels"].items()}
+
+
 def snapshot(service: MatchService) -> Dict[str, object]:
     """A JSON-ready snapshot of ``service`` (registry + window cursor)."""
     queries: List[Dict[str, object]] = []
@@ -47,25 +89,18 @@ def snapshot(service: MatchService) -> Dict[str, object]:
                 f"cannot checkpoint query {entry.query_id!r}: its engine "
                 f"was built by a custom factory ({entry.engine_kind!r}), "
                 f"which JSON cannot persist")
-        query = entry.query
-        queries.append({
-            "query_id": entry.query_id,
-            "engine": entry.engine_kind,
-            "status": entry.status.value,
-            "error": entry.error,
-            "has_edge_label_fn": entry.edge_label_fn is not None,
-            "has_subscribers": bool(entry.subscribers),
-            "collect_results": entry.result is not None,
-            "labels": list(query.labels),
-            "edges": [[e.u, e.v] for e in query.edges],
-            "order_pairs": [list(p) for p in query.order.pairs()],
-            "directed": query.directed,
-            "edge_labels": (list(query.edge_labels)
-                            if any(l is not None for l in query.edge_labels)
-                            else None),
-            "data_labels": {str(v): l for v, l in entry.labels.items()},
-            "stats": entry.stats.to_dict(),
-        })
+        queries.append(encode_query_spec(
+            query_id=entry.query_id,
+            query=entry.query,
+            labels=entry.labels,
+            engine_kind=entry.engine_kind,
+            status=entry.status.value,
+            error=entry.error,
+            has_edge_label_fn=entry.edge_label_fn is not None,
+            has_subscribers=bool(entry.subscribers),
+            collect_results=entry.result is not None,
+            stats=entry.stats.to_dict(),
+        ))
     return {
         "format": FORMAT,
         "delta": service.delta,
@@ -102,16 +137,10 @@ def restore(data: Dict[str, object], *,
             raise ValueError(
                 f"query {query_id!r} was registered with an edge_label_fn; "
                 f"pass a replacement via edge_label_fns={{{query_id!r}: fn}}")
-        query = TemporalQuery(
-            labels=spec["labels"],
-            edges=[tuple(e) for e in spec["edges"]],
-            order_pairs=[tuple(p) for p in spec["order_pairs"]],
-            directed=spec["directed"],
-            edge_labels=spec["edge_labels"],
-        )
+        query, data_labels = decode_query_spec(spec)
         entry = service.registry.register(
             query,
-            {int(v): l for v, l in spec["data_labels"].items()},
+            data_labels,
             spec["engine"],
             query_id=query_id,
             joined_seq=service.seq,

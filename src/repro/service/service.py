@@ -60,11 +60,20 @@ class OutOfOrderError(ValueError):
 
 @dataclass(frozen=True)
 class MatchNotification:
-    """One routed result: ``query_id`` matched (or unmatched) on ``event``."""
+    """One routed result: ``query_id`` matched (or unmatched) on ``event``.
+
+    ``seq`` is the arrival sequence number of the event's edge — for an
+    expiration, the seq of the arrival it closes.  Together with the
+    event time and kind it totally orders the service's event stream,
+    which is what lets the sharded service (:mod:`repro.cluster`) merge
+    per-shard notification streams back into exactly the order a
+    single-process service would have emitted.
+    """
 
     query_id: str
     event: Event
     match: Match
+    seq: int = -1
 
     @property
     def occurred(self) -> bool:
@@ -261,7 +270,7 @@ class MatchService:
                     entry.engine.stats.peak_structure_entries)
                 for match in matches:
                     notification = MatchNotification(
-                        entry.query_id, event, match)
+                        entry.query_id, event, match, seq)
                     if entry.result is not None:
                         if arrival:
                             entry.result.occurred.append((event, match))

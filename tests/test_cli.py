@@ -27,6 +27,12 @@ class TestParser:
         assert args.batch_size == 100
         assert args.engine == "tcm"
         assert args.scaling is None
+        assert args.workers == [1]
+
+    def test_multi_workers_list(self):
+        args = build_parser().parse_args(
+            ["multi", "--scaling", "4", "8", "--workers", "1", "2"])
+        assert args.workers == [1, 2]
 
 
 class TestExecution:
@@ -77,6 +83,47 @@ class TestExecution:
             "multi", "--stream-edges", "150", "--scaling", "1", "2",
         ], capsys)
         assert "edges/s by #queries" in out
+
+    def test_multi_sharded_run(self, capsys):
+        """`multi --workers 2` drives the sharded service end-to-end."""
+        out = self.run([
+            "multi", "--queries", "4", "--stream-edges", "200",
+            "--workers", "2",
+        ], capsys)
+        assert "workers=2" in out
+        assert "queries=4" in out
+
+    def test_multi_scaling_worker_sweep(self, capsys):
+        out = self.run([
+            "multi", "--stream-edges", "150", "--scaling", "2",
+            "--workers", "1", "2",
+        ], capsys)
+        assert "edges/s by #queries" in out
+        assert "w=1" in out and "w=2" in out
+
+    def test_multi_worker_sweep_requires_scaling(self, capsys):
+        rc = main(["multi", "--workers", "1", "2"])
+        assert rc == 2
+        assert "--scaling" in capsys.readouterr().err
+
+    def test_multi_rejects_bad_worker_count(self, capsys):
+        rc = main(["multi", "--workers", "0"])
+        assert rc == 2
+        assert ">= 1" in capsys.readouterr().err
+
+    def test_multi_sharded_checkpoint(self, capsys, tmp_path):
+        """--checkpoint with --workers writes a cluster checkpoint."""
+        path = str(tmp_path / "cluster.json")
+        out = self.run([
+            "multi", "--queries", "2", "--stream-edges", "150",
+            "--workers", "2", "--checkpoint", path,
+        ], capsys)
+        assert "checkpoint saved" in out
+        from repro.cluster import load_checkpoint
+        restored = load_checkpoint(path)
+        with restored:
+            assert len(restored) == 2
+            assert restored.num_workers == 2
 
     def test_multi_checkpoint(self, capsys, tmp_path):
         path = str(tmp_path / "svc.json")

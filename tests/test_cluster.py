@@ -1,0 +1,490 @@
+"""Equivalence and fault-tolerance tests for repro.cluster.
+
+The acceptance bar for the sharded service is *byte-identical output*:
+the merged notification stream (and therefore every per-query
+occurrence/expiration multiset) of a ``ShardedMatchService`` with 1, 2
+or 4 workers must equal the in-process ``MatchService`` on the same
+scripted scenario — every engine kind, mid-stream register/unregister,
+and a checkpoint/restore cycle included.  On top of that sit the
+cluster-only behaviours: worker-crash quarantine, coordinator-side
+subscriber isolation, and placement routing around dead shards.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import ShardedMatchService, WorkerCrashError
+from repro.cluster import checkpoint as cluster_checkpoint
+from repro.cluster.placement import ShardPlacement
+from repro.datasets import DATASET_SPECS, generate_stream
+from repro.graph.temporal_graph import Edge, TemporalGraph
+from repro.query import TemporalQuery
+from repro.service import MatchService, OutOfOrderError, QueryStatus
+from repro.service.checkpoint import (
+    restore as restore_single, resume_edges, snapshot as single_snapshot,
+)
+from repro.workloads import make_mixed_query_set
+
+AB_QUERY = TemporalQuery(labels=["A", "B"], edges=[(0, 1)])
+AB_LABELS = {0: "A", 1: "B"}
+
+#: Every registered engine kind appears in the scenario.
+ENGINE_CYCLE = ["tcm", "tcm-pruning", "symbi", "rapidflow", "timing",
+                "tcm"]
+
+DELTA = 80
+BATCH = 40
+
+
+def ab_edges(n, start=1):
+    return [Edge.make(0, 1, t) for t in range(start, start + n)]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    stream = generate_stream(DATASET_SPECS["superuser"], 240, seed=7)
+    graph = TemporalGraph(labels=stream.labels)
+    for e in stream.edges:
+        graph.insert_edge(e)
+    instances = make_mixed_query_set(graph, 6, sizes=(3, 4), seed=2)
+    assert len(instances) == 6
+    return stream, instances
+
+
+def drive_scenario(service, stream, instances):
+    """One scripted service lifetime: 4 queries up front, one joining
+    mid-stream, one retiring mid-stream, one joining late.  Returns the
+    full notification list, per-query stats, and the retired entry."""
+    edges = stream.edges
+    batches = [edges[lo:lo + BATCH] for lo in range(0, len(edges), BATCH)]
+    for i in range(4):
+        service.register(instances[i].query, stream.labels,
+                         ENGINE_CYCLE[i], query_id=f"q{i}")
+    notes = []
+    notes += service.ingest(batches[0])
+    notes += service.ingest(batches[1])
+    service.register(instances[4].query, stream.labels, ENGINE_CYCLE[4],
+                     query_id="q4")
+    notes += service.ingest(batches[2])
+    retired = service.unregister("q1")
+    notes += service.ingest(batches[3])
+    service.register(instances[5].query, stream.labels, ENGINE_CYCLE[5],
+                     query_id="q5")
+    notes += service.ingest(batches[4])
+    notes += service.ingest(batches[5])
+    notes += service.drain()
+    stats = {}
+    for query_id in ("q0", "q2", "q3", "q4", "q5"):
+        s = service.query_stats(query_id)
+        stats[query_id] = (s.occurred, s.expired, s.events_processed,
+                           s.errors)
+    return notes, stats, retired
+
+
+@pytest.fixture(scope="module")
+def single_outcome(workload):
+    stream, instances = workload
+    return drive_scenario(MatchService(DELTA), stream, instances)
+
+
+class TestEquivalence:
+    """Sharded output must equal the in-process service exactly."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_scenario_identical_to_single_process(self, workload,
+                                                  single_outcome, workers):
+        stream, instances = workload
+        expected_notes, expected_stats, expected_retired = single_outcome
+        with ShardedMatchService(DELTA, workers=workers) as service:
+            notes, stats, retired = drive_scenario(service, stream,
+                                                   instances)
+            assert service.stats.errored_queries == 0
+            assert service.stats.events_routed > 0
+        # The merged stream is identical element-for-element: same
+        # events, same matches, same sequence numbers, same order.
+        assert notes == expected_notes
+        assert stats == expected_stats
+        assert retired.stats.occurred == expected_retired.stats.occurred
+        assert retired.stats.expired == expected_retired.stats.expired
+
+    def test_service_counters_match_single(self, workload,
+                                           single_outcome):
+        stream, instances = workload
+        single = MatchService(DELTA)
+        drive_scenario(single, stream, instances)
+        with ShardedMatchService(DELTA, workers=2) as service:
+            drive_scenario(service, stream, instances)
+            assert (service.stats.edges_ingested
+                    == single.stats.edges_ingested)
+            assert service.stats.events_routed == single.stats.events_routed
+            assert service.stats.batches == single.stats.batches
+            assert (service.stats.registered_total
+                    == single.stats.registered_total)
+            assert service.seq == single.seq
+            assert service.now == single.now
+
+    def test_out_of_order_prefix_matches_single(self):
+        batch = [Edge.make(0, 1, 10), Edge.make(0, 1, 9)]
+        single = MatchService(5)
+        single.register(AB_QUERY, AB_LABELS, query_id="q")
+        with pytest.raises(OutOfOrderError) as single_exc:
+            single.ingest(batch)
+        with ShardedMatchService(5, workers=2) as service:
+            service.register(AB_QUERY, AB_LABELS, query_id="q")
+            with pytest.raises(OutOfOrderError) as sharded_exc:
+                service.ingest(batch)
+            assert (sharded_exc.value.notifications
+                    == single_exc.value.notifications)
+            assert service.seq == single.seq
+            assert service.now == single.now
+            assert (service.stats.edges_ingested
+                    == single.stats.edges_ingested)
+            # Both services remain usable after the rejection.
+            assert (service.ingest([Edge.make(0, 1, 12)])
+                    == single.ingest([Edge.make(0, 1, 12)]))
+
+    def test_advance_to_matches_single(self):
+        single = MatchService(3)
+        single.register(AB_QUERY, AB_LABELS, query_id="q")
+        with ShardedMatchService(3, workers=2) as service:
+            service.register(AB_QUERY, AB_LABELS, query_id="q")
+            assert service.ingest(ab_edges(2)) == single.ingest(ab_edges(2))
+            assert service.advance_to(10) == single.advance_to(10)
+            assert service.now == single.now == 10
+
+
+class TestCheckpoint:
+    def checkpointed_halves(self, workload):
+        stream, instances = workload
+        edges = stream.edges
+        return edges[:120], edges
+
+    def test_round_trip_matches_single_restore(self, workload, tmp_path):
+        stream, instances = workload
+        first_half, edges = self.checkpointed_halves(workload)
+
+        single = MatchService(DELTA)
+        for i in range(4):
+            single.register(instances[i].query, stream.labels,
+                            ENGINE_CYCLE[i], query_id=f"q{i}")
+        single.ingest(first_half)
+        single_restored = restore_single(
+            json.loads(json.dumps(single_snapshot(single))))
+        expected = single_restored.ingest(
+            list(resume_edges(single_restored, edges)))
+        expected += single_restored.drain()
+
+        with ShardedMatchService(DELTA, workers=2) as service:
+            for i in range(4):
+                service.register(instances[i].query, stream.labels,
+                                 ENGINE_CYCLE[i], query_id=f"q{i}")
+            service.ingest(first_half)
+            path = str(tmp_path / "cluster.json")
+            cluster_checkpoint.save_checkpoint(service, path)
+
+        # Restore onto a different worker count than the snapshot's.
+        for workers in (1, 3):
+            restored = cluster_checkpoint.load_checkpoint(path,
+                                                          workers=workers)
+            with restored:
+                notes = restored.ingest(
+                    list(resume_edges(restored, edges)))
+                notes += restored.drain()
+            assert notes == expected
+
+    def test_embedded_service_snapshot_is_restorable(self, workload,
+                                                     tmp_path):
+        """Scale-down restore: the embedded document rebuilds a plain
+        MatchService with the same queries and counters."""
+        stream, instances = workload
+        first_half, _ = self.checkpointed_halves(workload)
+        with ShardedMatchService(DELTA, workers=2) as service:
+            for i in range(4):
+                service.register(instances[i].query, stream.labels,
+                                 ENGINE_CYCLE[i], query_id=f"q{i}")
+            service.ingest(first_half)
+            data = json.loads(json.dumps(
+                cluster_checkpoint.snapshot(service)))
+            expected = {query_id: service.query_stats(query_id).occurred
+                        for query_id in ("q0", "q1", "q2", "q3")}
+        single = restore_single(
+            cluster_checkpoint.as_service_snapshot(data))
+        assert [e.query_id for e in single.registry.list()] == \
+            ["q0", "q1", "q2", "q3"]
+        for query_id, occurred in expected.items():
+            assert single.query_stats(query_id).occurred == occurred
+
+    def test_snapshot_preserves_stats_and_cursor(self, workload):
+        stream, instances = workload
+        with ShardedMatchService(DELTA, workers=2) as service:
+            service.register(instances[0].query, stream.labels, "tcm",
+                             query_id="q0")
+            service.ingest(stream.edges[:100])
+            data = cluster_checkpoint.snapshot(service)
+            assert data["format"].startswith("repro.cluster.checkpoint")
+            assert data["workers"] == 2
+            assert data["placement"] == {"q0": 0}
+            svc = data["service"]
+            assert svc["seq"] == 100
+            assert svc["now"] == service.now
+            restored = cluster_checkpoint.restore(data)
+            with restored:
+                assert restored.seq == 100
+                assert restored.now == service.now
+                assert (restored.stats.edges_ingested
+                        == service.stats.edges_ingested)
+
+    def test_restore_rejects_other_formats(self):
+        with pytest.raises(ValueError, match="not a cluster checkpoint"):
+            cluster_checkpoint.restore({"format": "something/else"})
+
+
+class TestWorkerCrash:
+    def crashed_cluster(self, n_queries=4):
+        service = ShardedMatchService(100, workers=2)
+        qids = [service.register(AB_QUERY, AB_LABELS, "tcm")
+                for _ in range(n_queries)]
+        service.ingest(ab_edges(4))
+        handle = service._workers[0]
+        handle.process.kill()
+        handle.process.join()
+        return service, qids
+
+    def test_crash_quarantines_only_its_shard(self):
+        service, qids = self.crashed_cluster()
+        try:
+            dead = [q for q in qids if service.shard_of(q) == 0]
+            live = [q for q in qids if service.shard_of(q) == 1]
+            assert dead and live
+            # The next batch detects the crash and keeps serving.
+            notes = service.ingest(ab_edges(4, start=5))
+            service.drain()
+            assert service.live_workers == 1
+            assert {n.query_id for n in notes} == set(live)
+            for query_id in dead:
+                entry = service.get(query_id)
+                assert entry.status is QueryStatus.ERRORED
+                assert "crashed" in entry.error
+            for query_id in live:
+                assert service.query_stats(query_id).occurred == 8
+            assert service.stats.errored_queries == len(dead)
+        finally:
+            service.close()
+
+    def test_registration_routes_around_dead_shard(self):
+        service, qids = self.crashed_cluster()
+        try:
+            service.ingest(ab_edges(2, start=5))  # detect the crash
+            for _ in range(3):
+                query_id = service.register(AB_QUERY, AB_LABELS, "tcm")
+                assert service.shard_of(query_id) == 1
+        finally:
+            service.close()
+
+    def test_unregister_lost_query_returns_errored_entry(self):
+        service, qids = self.crashed_cluster()
+        try:
+            service.ingest(ab_edges(2, start=5))
+            victim = next(q for q in qids if service.shard_of(q) == 0)
+            entry = service.unregister(victim)
+            assert entry.status is QueryStatus.ERRORED
+            assert victim not in service
+            assert service.stats.unregistered_total == 1
+        finally:
+            service.close()
+
+    def test_snapshot_includes_stranded_queries(self):
+        service, qids = self.crashed_cluster()
+        try:
+            service.ingest(ab_edges(2, start=5))
+            data = cluster_checkpoint.snapshot(service)
+            specs = {q["query_id"]: q for q in data["service"]["queries"]}
+            assert set(specs) == set(qids)
+            dead = [q for q in qids if service.shard_of(q) == 0]
+            for query_id in dead:
+                assert specs[query_id]["status"] == "errored"
+                assert "crashed" in specs[query_id]["error"]
+            restored = cluster_checkpoint.restore(data)
+            with restored:
+                for query_id in dead:
+                    assert (restored.get(query_id).status
+                            is QueryStatus.ERRORED)
+        finally:
+            service.close()
+
+    def test_register_on_all_dead_shards_raises(self):
+        service = ShardedMatchService(100, workers=1)
+        try:
+            service.register(AB_QUERY, AB_LABELS)
+            service._workers[0].process.kill()
+            service._workers[0].process.join()
+            with pytest.raises((WorkerCrashError, RuntimeError)):
+                service.register(AB_QUERY, AB_LABELS)
+            # The stream interface stays up (and returns nothing).
+            assert service.ingest(ab_edges(2)) == []
+        finally:
+            service.close()
+
+
+class TestSubscribers:
+    def test_subscribers_see_the_merged_feed(self):
+        seen = []
+        with ShardedMatchService(100, workers=2) as service:
+            service.register(AB_QUERY, AB_LABELS,
+                             subscriber=seen.append, query_id="a")
+            service.register(AB_QUERY, AB_LABELS, query_id="b")
+            notes = service.ingest(ab_edges(3))
+            notes += service.drain()
+        assert seen == [n for n in notes if n.query_id == "a"]
+
+    def test_failing_subscriber_quarantines_only_its_query(self):
+        def boom(notification):
+            raise ValueError("subscriber crashed")
+
+        with ShardedMatchService(100, workers=2) as service:
+            bad = service.register(AB_QUERY, AB_LABELS, subscriber=boom)
+            good = service.register(AB_QUERY, AB_LABELS)
+            service.ingest(ab_edges(3))
+            entry = service.get(bad)
+            assert entry.status is QueryStatus.ERRORED
+            assert "subscriber crashed" in entry.error
+            assert entry.stats.errors == 1
+            frozen = entry.stats.events_processed
+            # Isolation is batch-granular: later batches are not routed
+            # to the quarantined query at all (worker-side mute).
+            service.ingest(ab_edges(3, start=4))
+            assert service.get(bad).stats.events_processed == frozen
+            assert service.query_stats(good).occurred == 6
+            assert service.stats.errored_queries == 1
+
+    def test_register_from_subscriber_callback(self):
+        with ShardedMatchService(100, workers=2) as service:
+            follow_ups = []
+
+            def register_follow_up(notification):
+                if not follow_ups:
+                    follow_ups.append(
+                        service.register(AB_QUERY, AB_LABELS))
+
+            service.register(AB_QUERY, AB_LABELS,
+                             subscriber=register_follow_up)
+            service.ingest(ab_edges(3))          # delivery after batch 1
+            service.ingest(ab_edges(3, start=4))
+            service.drain()
+            follow_up = service.get(follow_ups[0])
+            assert follow_up.status is QueryStatus.ACTIVE
+            # Joined after batch 1 was merged: sees batch 2 only.
+            assert follow_up.stats.occurred == 3
+            assert follow_up.stats.expired == 3
+
+
+class _FailingEngine:
+    """Blows up on the first insert (crash-isolation fixture)."""
+
+    name = "failing"
+
+    class stats:  # noqa: D106 - engine stats shim
+        peak_structure_entries = 0
+
+    def on_edge_insert(self, edge):
+        raise RuntimeError("engine blew up")
+
+    def on_edge_expire(self, edge):
+        return []
+
+
+def failing_factory(query, labels, edge_label_fn=None):
+    """Module-level so it pickles by reference across the worker pipe."""
+    return _FailingEngine()
+
+
+class TestErrorIsolationAcrossShards:
+    def test_failing_engine_quarantines_only_its_query(self):
+        """A query whose engine blows up is quarantined inside its
+        worker; the coordinator mirrors the error on the next reply."""
+        with ShardedMatchService(100, workers=2) as service:
+            bad = service.register(AB_QUERY, AB_LABELS,
+                                   engine=failing_factory)
+            good = service.register(AB_QUERY, AB_LABELS)
+            service.ingest(ab_edges(4))
+            entry = service.get(bad)
+            assert entry.status is QueryStatus.ERRORED
+            assert "engine blew up" in entry.error
+            assert service.query_stats(good).occurred == 4
+            assert service.stats.errored_queries == 1
+            assert service.live_workers == 2
+
+
+class TestRegistrationSurface:
+    def test_duplicate_query_id_rejected(self):
+        with ShardedMatchService(10, workers=2) as service:
+            service.register(AB_QUERY, AB_LABELS, query_id="dup")
+            with pytest.raises(ValueError, match="already registered"):
+                service.register(AB_QUERY, AB_LABELS, query_id="dup")
+
+    def test_unknown_engine_rolls_back_placement(self):
+        with ShardedMatchService(10, workers=2) as service:
+            with pytest.raises(ValueError, match="unknown engine"):
+                service.register(AB_QUERY, AB_LABELS, engine="nope",
+                                 query_id="q")
+            assert "q" not in service
+            # The failed placement slot was released: the next two
+            # registrations still spread across both shards.
+            a = service.register(AB_QUERY, AB_LABELS)
+            b = service.register(AB_QUERY, AB_LABELS)
+            assert {service.shard_of(a), service.shard_of(b)} == {0, 1}
+
+    def test_unregister_missing(self):
+        with ShardedMatchService(10, workers=1) as service:
+            with pytest.raises(KeyError, match="no registered query"):
+                service.unregister("ghost")
+
+    def test_closed_service_rejects_operations(self):
+        service = ShardedMatchService(10, workers=1)
+        service.close()
+        service.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            service.ingest(ab_edges(1))
+        with pytest.raises(RuntimeError, match="closed"):
+            service.register(AB_QUERY, AB_LABELS)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="delta"):
+            ShardedMatchService(0, workers=1)
+        with pytest.raises(ValueError, match="worker"):
+            ShardedMatchService(10, workers=0)
+
+    def test_registered_ids_in_registration_order(self):
+        with ShardedMatchService(10, workers=3) as service:
+            ids = [service.register(AB_QUERY, AB_LABELS)
+                   for _ in range(5)]
+            assert service.registered_ids() == ids
+            assert len(service) == 5
+            stats = service.all_query_stats()
+            assert [s.query_id for s in stats] == ids
+
+
+class TestPlacement:
+    def test_least_loaded_with_deterministic_ties(self):
+        placement = ShardPlacement(3)
+        assert [placement.place(f"q{i}") for i in range(6)] == \
+            [0, 1, 2, 0, 1, 2]
+        placement.remove("q1")
+        assert placement.place("q6") == 1
+
+    def test_quarantine_excludes_shard_but_keeps_members(self):
+        placement = ShardPlacement(2)
+        placement.place("a")
+        placement.place("b")
+        assert placement.quarantine(0) == ["a"]
+        assert placement.live_shards() == [1]
+        assert placement.place("c") == 1
+        assert placement.shard_of("a") == 0       # still enumerable
+        assert placement.remove("a") == 0
+
+    def test_no_live_shards(self):
+        placement = ShardPlacement(1)
+        placement.quarantine(0)
+        with pytest.raises(RuntimeError, match="no live shards"):
+            placement.place("q")

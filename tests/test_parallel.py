@@ -2,11 +2,17 @@
 
 import pytest
 
-from repro.bench.parallel import run_queries_parallel
+from repro.bench.parallel import ParallelTask, run_queries_parallel
 from repro.bench.runner import run_query
+from repro.cluster.tasks import shared_payload_map
 from repro.datasets import DATASET_SPECS, generate_stream
 from repro.graph.temporal_graph import TemporalGraph
 from repro.workloads import make_query_set
+
+
+def _add_payload(task, payload):
+    """Module-level so the pool can pickle it by reference."""
+    return task + payload
 
 
 @pytest.fixture(scope="module")
@@ -40,6 +46,29 @@ def test_process_pool_same_results(workload):
         time_limit=10.0, max_workers=2)
     assert [r.matches for r in par] == [r.matches for r in seq]
     assert [r.engine for r in par] == ["tcm"] * len(queries)
+
+
+def test_tasks_no_longer_carry_the_stream(workload):
+    """The fix for the per-query stream re-pickle: a task is just
+    (engine, query, limit); the stream ships once per worker."""
+    stream, queries = workload
+    task = ParallelTask(engine="tcm", query=queries[0], time_limit=None)
+    assert not hasattr(task, "edges")
+
+
+def test_shared_payload_map_serial_fallback():
+    assert shared_payload_map(_add_payload, [1, 2, 3], 10,
+                              max_workers=1) == [11, 12, 13]
+    assert shared_payload_map(_add_payload, [], 10) == []
+    assert shared_payload_map(_add_payload, [5], 10) == [15]
+
+
+def test_shared_payload_map_pool_matches_serial():
+    serial = shared_payload_map(_add_payload, list(range(9)), 100,
+                                max_workers=1)
+    pooled = shared_payload_map(_add_payload, list(range(9)), 100,
+                                max_workers=2)
+    assert pooled == serial
 
 
 def test_parallel_other_engines(workload):
