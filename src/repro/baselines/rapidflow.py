@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Set
 
 from repro.graph.temporal_graph import Edge, TemporalGraph
 from repro.query.matching import (
-    candidate_images, candidate_timestamps, edge_orientations,
+    candidate_images, candidate_timestamps, orientations_of,
 )
 from repro.query.temporal_query import QueryEdge, TemporalQuery
 from repro.streaming.engine import MatchEngine
@@ -66,11 +66,14 @@ class RapidFlowEngine(MatchEngine):
     # Event handling
     # ------------------------------------------------------------------
     def on_edge_insert(self, edge: Edge) -> List[Match]:
-        self.graph.insert_edge(edge, label=self._edge_label(edge))
+        if not self.graph.insert_edge(edge, label=self._edge_label(edge)):
+            return []  # duplicate (u, v, t): idempotent no-op
         self._note_event()
         return self._find(edge)
 
     def on_edge_expire(self, edge: Edge) -> List[Match]:
+        if not self.graph.has_edge(edge):
+            return []  # expiration of a deduplicated arrival: no-op
         matches = self._find(edge)
         self.graph.remove_edge(edge)
         self._note_event()
@@ -82,15 +85,16 @@ class RapidFlowEngine(MatchEngine):
     def _find(self, edge: Edge) -> List[Match]:
         self._out = []
         self._event_edge = edge
+        glabel = self.graph.label
         elabel = self.graph.edge_label(edge)
-        for qe in self.query.edges:
-            q_elabel = self.query.edge_label(qe.index)
-            if q_elabel is not None and q_elabel != elabel:
+        orients = [(a, b, glabel(a), glabel(b))
+                   for a, b in orientations_of(self.query, edge)]
+        for meta in self.query.edge_meta():
+            if meta.edge_label is not None and meta.edge_label != elabel:
                 continue
-            lu, lv = self.query.label(qe.u), self.query.label(qe.v)
-            for va, vb in edge_orientations(self.query, qe, edge):
-                if (self.graph.label(va) != lu
-                        or self.graph.label(vb) != lv):
+            qe = meta.edge
+            for va, vb, la, lb in orients:
+                if la != meta.label_u or lb != meta.label_v:
                     continue
                 self._event_qe = qe
                 self._vmap[qe.u], self._vmap[qe.v] = va, vb
@@ -99,6 +103,7 @@ class RapidFlowEngine(MatchEngine):
                 self._used_v.difference_update((va, vb))
                 self._vmap[qe.u] = self._vmap[qe.v] = None
         self.stats.matches_emitted += len(self._out)
+        self._out.sort()
         return self._out
 
     def _next_vertex(self) -> Optional[int]:
@@ -169,5 +174,6 @@ class RapidFlowEngine(MatchEngine):
         return 0  # RapidFlow keeps no auxiliary index.
 
     def _note_event(self) -> None:
+        self.stats.events_processed += 1
         extra = self.stats.extra
         extra["events"] = extra.get("events", 0) + 1

@@ -17,19 +17,27 @@ The post-check is the source of the inefficiency the paper measures:
 time spent enumerating edge combinations that violate the order grows
 with parallel-edge multiplicity and with the order's density, while TCM
 never generates them.
+
+Batched ingestion (:meth:`SymBiEngine.on_batch`) mirrors the TCM scheme:
+the DCS candidate-edge set is label-only and therefore an exact mirror
+of the graph, so it is kept up to date per event, but the D1/D2 worklist
+refresh is deferred — expirations backtrack against a (sound, superset)
+stale filter, and the refresh runs once per arrival flush instead of
+once per event.  Output is byte-identical to the per-event path.
 """
 
 from __future__ import annotations
 
 from itertools import product
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.dag import QueryDag, build_best_dag
 from repro.core.dcs import DCS
 from repro.graph.temporal_graph import Edge, TemporalGraph
-from repro.query.matching import candidate_images, edge_orientations
+from repro.query.matching import candidate_timestamps, orientations_of
 from repro.query.temporal_query import QueryEdge, TemporalQuery
 from repro.streaming.engine import MatchEngine
+from repro.streaming.events import Event
 from repro.streaming.match import Match
 
 
@@ -52,63 +60,141 @@ class SymBiEngine(MatchEngine):
         self._out: List[Match] = []
         self._event_edge: Optional[Edge] = None
         self._event_qe: Optional[QueryEdge] = None
+        # Events whose endpoint labels match no query edge cannot hold
+        # candidates and skip everything but the window-graph mutation
+        # (see TCMEngine for the argument).
+        self._relevant_pairs = query.relevant_label_pairs()
+        self.stats.extra.update(
+            events=0, dcs_edges_sum=0, dcs_vertices_sum=0)
 
     # ------------------------------------------------------------------
     # Event handling
     # ------------------------------------------------------------------
     def on_edge_insert(self, edge: Edge) -> List[Match]:
-        self.graph.insert_edge(edge, label=self._edge_label(edge))
-        self.dcs.apply(self._candidates_of(edge), [])
+        if not self.graph.insert_edge(edge, label=self._edge_label(edge)):
+            return []  # duplicate (u, v, t): idempotent no-op
+        if not self._is_relevant(edge):
+            self._note_event()
+            return []
+        candidates = self._candidates_of(edge)
+        self.dcs.apply(candidates, [])
         self._note_event()
-        return self._find(edge)
+        return self._find(edge, candidates)
 
     def on_edge_expire(self, edge: Edge) -> List[Match]:
-        matches = self._find(edge)
+        if not self.graph.has_edge(edge):
+            return []  # expiration of a deduplicated arrival: no-op
+        if not self._is_relevant(edge):
+            self.graph.remove_edge(edge)
+            self._note_event()
+            return []
+        # Candidates must be computed while the edge (and its edge label)
+        # is still in the graph: resolving them after removal loses the
+        # edge label and would leak the entries of edge-labeled queries.
+        candidates = self._candidates_of(edge)
+        matches = self._find(edge, candidates)
         self.graph.remove_edge(edge)
-        self.dcs.apply([], self._candidates_of(edge))
+        self.dcs.apply([], candidates)
         self._note_event()
         return matches
+
+    def _is_relevant(self, edge: Edge) -> bool:
+        """True if some query edge is endpoint-label compatible with the
+        event edge; irrelevant events only mutate the window graph."""
+        glabel = self.graph.label
+        return (glabel(edge.u), glabel(edge.v)) in self._relevant_pairs
+
+    def on_batch(self, events: Sequence[Event]) -> List[List[Match]]:
+        """Batched ingestion: exact DCS edge maintenance per event, one
+        deferred D1/D2 refresh per arrival flush (see module docstring)."""
+        out: List[List[Match]] = []
+        seeds: Set[Tuple[int, int]] = set()
+        vertices: Set[int] = set()
+        for event in events:
+            edge = event.edge
+            if event.is_arrival:
+                if not self.graph.insert_edge(
+                        edge, label=self._edge_label(edge)):
+                    out.append([])
+                    continue
+                if not self._is_relevant(edge):
+                    self._note_event()
+                    out.append([])
+                    continue
+                candidates = self._candidates_of(edge)
+                self.dcs.stage(candidates, [], seeds, vertices)
+                if seeds or vertices:
+                    self.dcs.refresh(seeds, vertices)
+                    seeds.clear()
+                    vertices.clear()
+                self._note_event()
+                out.append(self._find(edge, candidates))
+            else:
+                if not self.graph.has_edge(edge):
+                    out.append([])
+                    continue
+                if not self._is_relevant(edge):
+                    self.graph.remove_edge(edge)
+                    self._note_event()
+                    out.append([])
+                    continue
+                candidates = self._candidates_of(edge)
+                matches = self._find(edge, candidates)
+                self.graph.remove_edge(edge)
+                self.dcs.stage([], candidates, seeds, vertices)
+                self._note_event()
+                out.append(matches)
+        if seeds or vertices:
+            self.dcs.refresh(seeds, vertices)
+        self.stats.batches_processed += 1
+        return out
 
     def _candidates_of(self, edge: Edge) -> List[Tuple[int, int, int, int]]:
         """Label-compatible (query edge, orientation) pairs for ``edge``
         (direction and edge labels respected when the query uses them)."""
-        out = []
+        glabel = self.graph.label
         elabel = self.graph.edge_label(edge)
-        for qe in self.query.edges:
-            q_elabel = self.query.edge_label(qe.index)
-            if q_elabel is not None and q_elabel != elabel:
+        t = edge.t
+        orients = [(a, b, glabel(a), glabel(b))
+                   for a, b in orientations_of(self.query, edge)]
+        out = []
+        for meta in self.query.edge_meta():
+            if meta.edge_label is not None and meta.edge_label != elabel:
                 continue
-            lu, lv = self.query.label(qe.u), self.query.label(qe.v)
-            for a, b in edge_orientations(self.query, qe, edge):
-                if (self.graph.label(a) == lu and self.graph.label(b) == lv):
-                    out.append((qe.index, a, b, edge.t))
+            for a, b, la, lb in orients:
+                if la == meta.label_u and lb == meta.label_v:
+                    out.append((meta.index, a, b, t))
         return out
 
     # ------------------------------------------------------------------
     # Vertex-level backtracking + post-check expansion
     # ------------------------------------------------------------------
-    def _find(self, edge: Edge) -> List[Match]:
+    def _find(self, edge: Edge,
+              candidates: Optional[List[Tuple[int, int, int, int]]] = None
+              ) -> List[Match]:
         self._out = []
         self._event_edge = edge
-        for qe in self.query.edges:
-            for va, vb in edge_orientations(self.query, qe, edge):
-                if not self.dcs.has_edge(qe.index, *self._canon(qe, va, vb),
-                                         edge.t):
-                    continue
-                if not (self.dcs.d2(qe.u, va) and self.dcs.d2(qe.v, vb)):
-                    continue
-                self._event_qe = qe
-                self._vmap[qe.u], self._vmap[qe.v] = va, vb
-                self._used_v.update((va, vb))
-                self._extend()
-                self._used_v.difference_update((va, vb))
-                self._vmap[qe.u] = self._vmap[qe.v] = None
+        dcs = self.dcs
+        query = self.query
+        if candidates is None:
+            orients = orientations_of(query, edge)
+            candidates = [(qe.index, va, vb, edge.t)
+                          for qe in query.edges for va, vb in orients]
+        for e, va, vb, t in candidates:
+            if not dcs.has_edge(e, va, vb, t):
+                continue
+            qe = query.edges[e]
+            if not (dcs.d2(qe.u, va) and dcs.d2(qe.v, vb)):
+                continue
+            self._event_qe = qe
+            self._vmap[qe.u], self._vmap[qe.v] = va, vb
+            self._used_v.update((va, vb))
+            self._extend()
+            self._used_v.difference_update((va, vb))
+            self._vmap[qe.u] = self._vmap[qe.v] = None
         self.stats.matches_emitted += len(self._out)
+        self._out.sort()
         return self._out
-
-    def _canon(self, qe: QueryEdge, va: int, vb: int) -> Tuple[int, int]:
-        """DCS keys are canonical (image of qe.u, image of qe.v)."""
-        return (va, vb)
 
     def _extend(self) -> None:
         self.stats.backtrack_nodes += 1
@@ -116,7 +202,7 @@ class SymBiEngine(MatchEngine):
         if u is None:
             self._expand_edges()
             return
-        for v in self._cm(u):
+        for v in self._cm_cache:
             self._vmap[u] = v
             self._used_v.add(v)
             self._extend()
@@ -124,11 +210,12 @@ class SymBiEngine(MatchEngine):
             self._vmap[u] = None
 
     def _pick_vertex(self) -> Optional[int]:
+        vmap = self._vmap
         best_u, best_cm = None, None
         for u in range(self.query.num_vertices):
-            if self._vmap[u] is not None:
+            if vmap[u] is not None:
                 continue
-            if all(self._vmap[w] is None for w in self.query.neighbors(u)):
+            if all(vmap[w] is None for w in self.query.neighbors(u)):
                 continue
             cm = self._cm(u)
             if best_cm is None or len(cm) < len(best_cm):
@@ -141,44 +228,61 @@ class SymBiEngine(MatchEngine):
         return best_u
 
     def _cm(self, u: int) -> List[int]:
-        anchors = [qe for qe in self.query.incident_edges(u)
-                   if self._vmap[qe.other(u)] is not None]
-        pool = self.graph.neighbors(self._vmap[anchors[0].other(u)])
+        vmap = self._vmap
+        anchors = [(e, vmap[other], u_is_u)
+                   for e, other, u_is_u in self.query.incident_meta(u)
+                   if vmap[other] is not None]
+        pool = self.graph.neighbors(anchors[0][1])
+        d2_table = self.dcs.d2_table(u)
+        used = self._used_v
+        timestamps = self.dcs.timestamps
         out = []
         for v in pool:
-            if v in self._used_v or not self.dcs.d2(u, v):
+            if v in used or not d2_table.get(v, False):
                 continue
-            if all(self._edge_lists(qe, u, v) for qe in anchors):
+            for e, w, u_is_u in anchors:
+                if not (timestamps(e, v, w) if u_is_u
+                        else timestamps(e, w, v)):
+                    break
+            else:
                 out.append(v)
         return out
 
-    def _edge_lists(self, qe: QueryEdge, u: int, v: int) -> List[int]:
-        w = self._vmap[qe.other(u)]
-        if u == qe.u:
-            return self.dcs.timestamps(qe.index, v, w)
-        return self.dcs.timestamps(qe.index, w, v)
-
     def _expand_edges(self) -> None:
         """Expand a complete vertex embedding into all parallel-edge
-        combinations and post-check the temporal order on each."""
+        combinations and post-check the temporal order on each.
+
+        The product runs over timestamp tuples; Edge objects are only
+        materialized for combinations that survive the order check.
+        """
         event_qe = self._event_qe
         event_edge = self._event_edge
-        per_edge: List[List[Edge]] = []
-        for qe in self.query.edges:
-            if qe is event_qe:
-                per_edge.append([event_edge])
-                continue
+        query = self.query
+        directed = query.directed
+        per_edge_ts: List[Sequence[int]] = []
+        endpoints: List[Tuple[int, int]] = []
+        for qe in query.edges:
             a, b = self._vmap[qe.u], self._vmap[qe.v]
-            images = candidate_images(self.query, self.graph, qe.index, a, b)
-            if not images:
-                return
-            per_edge.append(images)
+            if not directed and a > b:
+                a, b = b, a
+            if qe is event_qe:
+                per_edge_ts.append((event_edge.t,))
+            else:
+                ts = candidate_timestamps(query, self.graph, qe.index, a, b)
+                if not ts:
+                    return
+                per_edge_ts.append(ts)
+            endpoints.append((a, b))
         vertex_map = tuple(self._vmap)  # type: ignore[arg-type]
-        order = self.query.order
-        for combo in product(*per_edge):
-            self.stats.backtrack_nodes += 1
-            if order.is_consistent([e.t for e in combo]):
-                self._out.append(Match(vertex_map, tuple(combo)))
+        is_consistent = query.order.is_consistent
+        stats = self.stats
+        out = self._out
+        for combo in product(*per_edge_ts):
+            stats.backtrack_nodes += 1
+            if is_consistent(combo):
+                out.append(Match(vertex_map, tuple(
+                    Edge(ab[0], ab[1], t)
+                    for ab, t in zip(endpoints, combo))))
 
     # ------------------------------------------------------------------
     # Statistics
@@ -187,10 +291,10 @@ class SymBiEngine(MatchEngine):
         return self.dcs.size()
 
     def _note_event(self) -> None:
-        self.stats.note_structure_size(self.structure_entries())
-        extra = self.stats.extra
-        extra["events"] = extra.get("events", 0) + 1
-        extra["dcs_edges_sum"] = (
-            extra.get("dcs_edges_sum", 0) + self.dcs.num_edges())
-        extra["dcs_vertices_sum"] = (
-            extra.get("dcs_vertices_sum", 0) + self.dcs.num_d2_vertices())
+        stats = self.stats
+        stats.note_structure_size(self.structure_entries())
+        stats.events_processed += 1
+        extra = stats.extra
+        extra["events"] += 1
+        extra["dcs_edges_sum"] += self.dcs.num_edges()
+        extra["dcs_vertices_sum"] += self.dcs.num_d2_vertices()

@@ -127,7 +127,8 @@ class TimingEngine(MatchEngine):
     # Event handling
     # ------------------------------------------------------------------
     def on_edge_insert(self, edge: Edge) -> List[Match]:
-        self.graph.insert_edge(edge, label=self._edge_label(edge))
+        if not self.graph.insert_edge(edge, label=self._edge_label(edge)):
+            return []  # duplicate (u, v, t): idempotent no-op
         delta_prev: List[Partial] = []
         for i, qe in enumerate(self._positions):
             delta_i: List[Partial] = []
@@ -145,6 +146,8 @@ class TimingEngine(MatchEngine):
         return matches
 
     def on_edge_expire(self, edge: Edge) -> List[Match]:
+        if not self.graph.has_edge(edge):
+            return []  # expiration of a deduplicated arrival: no-op
         expired: List[Partial] = []
         for i, level in enumerate(self._levels):
             victims = level.evict_edge(edge)
@@ -256,6 +259,7 @@ class TimingEngine(MatchEngine):
 
     def _note_event(self) -> None:
         self.stats.note_structure_size(self.structure_entries())
+        self.stats.events_processed += 1
         extra = self.stats.extra
         extra["events"] = extra.get("events", 0) + 1
         extra["partials_sum"] = (

@@ -13,6 +13,10 @@ from repro.bench.multi import (
     MultiQueryConfig, MultiQueryRun, build_service, format_multi_run,
     format_scaling, multi_query_scaling, run_multi_query,
 )
+from repro.bench.throughput import (
+    ThroughputConfig, compare_to_baseline, measure_multi, measure_single,
+    write_report,
+)
 
 __all__ = [
     "ENGINE_FACTORIES", "QueryResult", "engine_names", "make_engine",
@@ -24,4 +28,6 @@ __all__ = [
     "MultiQueryConfig", "MultiQueryRun", "build_service",
     "format_multi_run", "format_scaling", "multi_query_scaling",
     "run_multi_query",
+    "ThroughputConfig", "compare_to_baseline", "measure_multi",
+    "measure_single", "write_report",
 ]

@@ -1,0 +1,269 @@
+"""Throughput micro-harness: events/sec of the engine hot path.
+
+Measures, on the fig7 default workload (mixed-size queries over the
+dataset stand-ins), the single-query engine throughput of the per-event
+dispatch path versus the batched ``on_batch`` path, and the multi-query
+service throughput of ``ingest`` versus ``process_batch``.  Results are
+written as ``BENCH_single.json`` / ``BENCH_multi.json`` at the repo
+root — the committed copies pin the performance trajectory, and the CI
+smoke job compares a fresh tiny-workload run against its committed
+baseline to catch regressions.
+
+Every cell reports events/sec (best of ``repeats`` runs — throughput
+benchmarks want the least-noise sample), total backtrack nodes, and the
+peak stored structure entries, so a perf regression and a filtering
+regression are both visible in one file.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.multi import MultiQueryConfig, build_service
+from repro.bench.runner import make_engine
+from repro.datasets import DATASET_SPECS, generate_stream
+from repro.graph.temporal_graph import TemporalGraph
+from repro.streaming import StreamDriver
+from repro.workloads import make_mixed_query_set
+
+
+@dataclass
+class ThroughputConfig:
+    """Scale knobs for the throughput harness.
+
+    The defaults reproduce the fig7 default workload: the three dataset
+    stand-ins, mixed query sizes 4/5/6, density 0.5, a window of 30% of
+    the stream.
+    """
+
+    datasets: Sequence[str] = ("superuser", "yahoo", "lsbench")
+    stream_edges: int = 1000
+    query_sizes: Sequence[int] = (4, 5, 6)
+    queries: int = 3
+    density: float = 0.5
+    window_fraction: float = 0.3
+    seed: int = 0
+    engines: Sequence[str] = ("tcm", "symbi")
+    batch_size: int = 256
+    repeats: int = 3
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ValueError("repeats must be at least 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+
+    @property
+    def delta(self) -> int:
+        return max(2, int(self.stream_edges * self.window_fraction))
+
+
+def _workloads(config: ThroughputConfig):
+    """One (stream, query instances) pair per dataset."""
+    out = []
+    for dataset in config.datasets:
+        stream = generate_stream(DATASET_SPECS[dataset],
+                                 config.stream_edges, seed=config.seed)
+        graph = TemporalGraph(labels=stream.labels,
+                              directed=stream.directed)
+        elabels = stream.edge_labels or {}
+        for edge in stream.edges:
+            graph.insert_edge(edge, label=elabels.get(edge))
+        instances = make_mixed_query_set(
+            graph, config.queries, sizes=tuple(config.query_sizes),
+            density=config.density, seed=config.seed)
+        out.append((dataset, stream, instances))
+    return out
+
+
+def _drive_once(engine_name: str, stream, instances, delta: int,
+                batch_size: Optional[int]) -> Tuple[int, float, int, int]:
+    """One pass over every query of one dataset; returns
+    (events, seconds, backtrack nodes, peak structure entries)."""
+    events = 0
+    backtrack = 0
+    peak = 0
+    elapsed = 0.0
+    for instance in instances:
+        engine = make_engine(engine_name, instance.query, stream.labels,
+                             stream.edge_label_fn())
+        driver = StreamDriver(engine, batch_size=batch_size)
+        result = driver.run_edges(stream.edges, delta)
+        events += result.events_processed
+        elapsed += result.elapsed_seconds
+        backtrack += engine.stats.backtrack_nodes
+        peak = max(peak, engine.stats.peak_structure_entries)
+    return events, elapsed, backtrack, peak
+
+
+def measure_single(config: Optional[ThroughputConfig] = None
+                   ) -> Dict[str, object]:
+    """Single-query engine throughput, per-event vs batched."""
+    config = config or ThroughputConfig()
+    workloads = _workloads(config)
+    engines: Dict[str, object] = {}
+    for engine_name in config.engines:
+        modes: Dict[str, object] = {}
+        for mode, batch_size in (("per_event", None),
+                                 ("batched", config.batch_size)):
+            total_events = 0
+            total_seconds = 0.0
+            backtrack = 0
+            peak = 0
+            per_dataset: Dict[str, float] = {}
+            for dataset, stream, instances in workloads:
+                best: Optional[Tuple[int, float, int, int]] = None
+                for _ in range(config.repeats):
+                    sample = _drive_once(engine_name, stream, instances,
+                                         config.delta, batch_size)
+                    if best is None or sample[1] < best[1]:
+                        best = sample
+                events, seconds, nodes, ds_peak = best
+                per_dataset[dataset] = round(events / seconds, 1)
+                total_events += events
+                total_seconds += seconds
+                backtrack += nodes
+                peak = max(peak, ds_peak)
+            modes[mode] = {
+                "events_per_sec": round(total_events / total_seconds, 1),
+                "events": total_events,
+                "elapsed_seconds": round(total_seconds, 4),
+                "backtrack_nodes": backtrack,
+                "peak_structure_entries": peak,
+                "per_dataset_events_per_sec": per_dataset,
+            }
+            if batch_size is not None:
+                modes[mode]["batch_size"] = batch_size
+        modes["batched_speedup"] = round(
+            modes["batched"]["events_per_sec"]
+            / modes["per_event"]["events_per_sec"], 3)
+        engines[engine_name] = modes
+    return {
+        "benchmark": "single_query_throughput",
+        "workload": {
+            "datasets": list(config.datasets),
+            "stream_edges": config.stream_edges,
+            "query_sizes": list(config.query_sizes),
+            "queries_per_dataset": config.queries,
+            "density": config.density,
+            "window_fraction": config.window_fraction,
+            "seed": config.seed,
+            "repeats": config.repeats,
+        },
+        "engines": engines,
+    }
+
+
+def measure_multi(config: Optional[ThroughputConfig] = None,
+                  num_queries: int = 4) -> Dict[str, object]:
+    """Multi-query service throughput, per-event ingest vs
+    process_batch, on the first configured dataset."""
+    config = config or ThroughputConfig()
+    dataset = config.datasets[0]
+    mconfig = MultiQueryConfig(
+        dataset=dataset, stream_edges=config.stream_edges,
+        num_queries=num_queries, batch_size=config.batch_size,
+        query_sizes=tuple(config.query_sizes), density=config.density,
+        window_fraction=config.window_fraction, seed=config.seed)
+    modes: Dict[str, object] = {}
+    for mode in ("per_event", "batched"):
+        best: Optional[Dict[str, object]] = None
+        for _ in range(config.repeats):
+            service, stream = build_service(mconfig, "tcm")
+            edges = stream.edges
+            step = max(1, mconfig.batch_size)
+            start = time.perf_counter()
+            for lo in range(0, len(edges), step):
+                chunk = edges[lo:lo + step]
+                if mode == "batched":
+                    service.process_batch(chunk)
+                else:
+                    service.ingest(chunk)
+            service.drain()
+            elapsed = time.perf_counter() - start
+            per_query = [entry.stats for entry in service.registry.list()]
+            sample = {
+                "events_per_sec": round(
+                    sum(s.events_processed for s in per_query) / elapsed, 1),
+                "edges_per_sec": round(len(edges) / elapsed, 1),
+                "elapsed_seconds": round(elapsed, 4),
+                "queries": len(per_query),
+                "occurred": sum(s.occurred for s in per_query),
+                "expired": sum(s.expired for s in per_query),
+                "peak_structure_entries": max(
+                    (s.peak_structure_entries for s in per_query),
+                    default=0),
+            }
+            if best is None or sample["elapsed_seconds"] < \
+                    best["elapsed_seconds"]:
+                best = sample
+        modes[mode] = best
+    modes["batched_speedup"] = round(
+        modes["batched"]["events_per_sec"]
+        / modes["per_event"]["events_per_sec"], 3)
+    return {
+        "benchmark": "multi_query_service_throughput",
+        "workload": {
+            "dataset": dataset,
+            "stream_edges": config.stream_edges,
+            "num_queries": num_queries,
+            "batch_size": config.batch_size,
+            "query_sizes": list(config.query_sizes),
+            "density": config.density,
+            "window_fraction": config.window_fraction,
+            "seed": config.seed,
+            "repeats": config.repeats,
+        },
+        "service": modes,
+    }
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison (CI regression gate)
+# ----------------------------------------------------------------------
+def _walk_events_per_sec(report: Dict[str, object], prefix: str = ""
+                         ) -> Dict[str, float]:
+    """Flatten every ``events_per_sec`` leaf of a report to a path."""
+    out: Dict[str, float] = {}
+    for key, value in report.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(_walk_events_per_sec(value, path + "."))
+        elif key == "events_per_sec":
+            out[path] = float(value)
+    return out
+
+
+def compare_to_baseline(fresh: Dict[str, object],
+                        baseline: Dict[str, object],
+                        max_regression: float) -> List[str]:
+    """Regressions of ``fresh`` vs ``baseline`` beyond the tolerance.
+
+    Compares every ``events_per_sec`` cell present in both reports;
+    returns human-readable failure lines (empty = pass).  Only slowdowns
+    fail: a faster fresh run never trips the gate.
+    """
+    fresh_cells = _walk_events_per_sec(fresh)
+    base_cells = _walk_events_per_sec(baseline)
+    failures = []
+    for path, base_value in sorted(base_cells.items()):
+        fresh_value = fresh_cells.get(path)
+        if fresh_value is None or base_value <= 0:
+            continue
+        drop = 1.0 - fresh_value / base_value
+        if drop > max_regression:
+            failures.append(
+                f"{path}: {fresh_value:.0f} events/s is "
+                f"{drop:.0%} below baseline {base_value:.0f} "
+                f"(tolerance {max_regression:.0%})")
+    return failures
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    """Write one benchmark report as pretty JSON."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")

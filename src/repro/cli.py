@@ -33,11 +33,12 @@ import sys
 from typing import List, Optional
 
 from repro.bench import (
-    ExperimentConfig, MultiQueryConfig, ablation_sweep, dataset_table,
-    density_sweep, engine_names, filtering_power_table, format_cells,
-    format_multi_run, format_scaling, format_table3, format_table5,
+    ExperimentConfig, MultiQueryConfig, ThroughputConfig, ablation_sweep,
+    compare_to_baseline, dataset_table, density_sweep, engine_names,
+    filtering_power_table, format_cells, format_multi_run, format_scaling,
+    format_table3, format_table5, measure_multi, measure_single,
     memory_sweep, multi_query_scaling, query_size_sweep, run_multi_query,
-    window_sweep,
+    window_sweep, write_report,
 )
 from repro.datasets import dataset_names
 
@@ -126,7 +127,131 @@ def build_parser() -> argparse.ArgumentParser:
     pm.add_argument("--checkpoint", default=None, metavar="PATH",
                     help="save a JSON checkpoint of the final service "
                          "state to PATH")
+
+    pb = sub.add_parser(
+        "bench", help="throughput micro-harness (BENCH_*.json)")
+    pb.add_argument("--mode", nargs="+", default=["single", "multi"],
+                    choices=["single", "multi"],
+                    help="which harnesses to run")
+    pb.add_argument("--datasets", nargs="+",
+                    default=["superuser", "yahoo", "lsbench"],
+                    choices=dataset_names(),
+                    help="dataset stand-ins (fig7 default workload)")
+    pb.add_argument("--stream-edges", type=int, default=1000)
+    pb.add_argument("--queries", type=int, default=3,
+                    help="queries per dataset (single) / registered "
+                         "queries (multi)")
+    pb.add_argument("--sizes", nargs="+", type=int, default=[4, 5, 6],
+                    help="query sizes cycled over the workload")
+    pb.add_argument("--engines", nargs="+", default=["tcm", "symbi"],
+                    choices=engine_names())
+    pb.add_argument("--batch-size", type=int, default=256)
+    pb.add_argument("--repeats", type=int, default=3,
+                    help="runs per cell (best is reported)")
+    pb.add_argument("--seed", type=int, default=0)
+    pb.add_argument("--output-dir", default=".", metavar="DIR",
+                    help="where BENCH_single.json / BENCH_multi.json "
+                         "are written (default: repo root)")
+    pb.add_argument("--baseline", nargs="+", default=None, metavar="PATH",
+                    help="committed BENCH_*.json file(s) to compare "
+                         "against (regression gate; matched to the "
+                         "fresh run by benchmark kind)")
+    pb.add_argument("--reference", default=None, metavar="PATH",
+                    help="seed-baseline JSON (pre-refactor per-event "
+                         "events/sec) to annotate the single report "
+                         "with speedup_vs_reference")
+    pb.add_argument("--max-regression", type=float, default=0.30,
+                    metavar="FRAC",
+                    help="fail when events/sec drops more than this "
+                         "fraction below the baseline (default 0.30)")
     return parser
+
+
+def _run_bench(args) -> int:
+    """The ``bench`` subcommand: run the throughput harnesses, write
+    BENCH_*.json, optionally gate against a committed baseline."""
+    import json
+    import os
+
+    try:
+        config = ThroughputConfig(
+            datasets=tuple(args.datasets),
+            stream_edges=args.stream_edges,
+            query_sizes=tuple(args.sizes),
+            queries=args.queries,
+            engines=tuple(args.engines),
+            batch_size=args.batch_size,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    os.makedirs(args.output_dir, exist_ok=True)
+    reports = {}
+    if "single" in args.mode:
+        report = measure_single(config)
+        if args.reference:
+            with open(args.reference) as handle:
+                reference = json.load(handle)
+            report["reference"] = {
+                "path": args.reference,
+                "note": reference.get("note"),
+                "engines": reference.get("engines"),
+            }
+            for engine, modes in report["engines"].items():
+                ref = reference.get("engines", {}).get(engine)
+                if ref:
+                    modes["speedup_vs_reference"] = round(
+                        modes["batched"]["events_per_sec"]
+                        / ref["per_event_events_per_sec"], 3)
+        path = os.path.join(args.output_dir, "BENCH_single.json")
+        write_report(report, path)
+        reports[path] = report
+        for engine, modes in report["engines"].items():
+            line = (f"single {engine}: "
+                    f"per-event {modes['per_event']['events_per_sec']:.0f} "
+                    f"events/s, batched "
+                    f"{modes['batched']['events_per_sec']:.0f} events/s "
+                    f"({modes['batched_speedup']:.2f}x)")
+            if "speedup_vs_reference" in modes:
+                line += (f", {modes['speedup_vs_reference']:.2f}x vs "
+                         f"seed per-event")
+            print(line)
+    if "multi" in args.mode:
+        report = measure_multi(config, num_queries=max(args.queries, 2))
+        path = os.path.join(args.output_dir, "BENCH_multi.json")
+        write_report(report, path)
+        reports[path] = report
+        service = report["service"]
+        print(f"multi tcm x{report['workload']['num_queries']}: "
+              f"per-event {service['per_event']['events_per_sec']:.0f} "
+              f"events/s, batched "
+              f"{service['batched']['events_per_sec']:.0f} events/s "
+              f"({service['batched_speedup']:.2f}x)")
+    for path in reports:
+        print(f"wrote {path}")
+    status = 0
+    for baseline_path in args.baseline or ():
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+        key = baseline.get("benchmark")
+        fresh = next((r for r in reports.values()
+                      if r.get("benchmark") == key), None)
+        if fresh is None:
+            print(f"error: baseline benchmark {key!r} was not run",
+                  file=sys.stderr)
+            return 2
+        failures = compare_to_baseline(fresh, baseline,
+                                       args.max_regression)
+        if failures:
+            for line in failures:
+                print(f"REGRESSION {line}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"baseline check OK ({baseline_path}, "
+                  f"tolerance {args.max_regression:.0%})")
+    return status
 
 
 def _config(args) -> ExperimentConfig:
@@ -150,6 +275,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if command == "table3":
         print(format_table3(dataset_table(args.stream_edges, args.seed)))
         return 0
+
+    if command == "bench":
+        return _run_bench(args)
 
     if command == "multi":
         if any(w < 1 for w in args.workers):

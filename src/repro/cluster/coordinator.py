@@ -139,12 +139,17 @@ class ShardedMatchService:
     """
 
     def __init__(self, delta: int, *, workers: int = 2,
-                 start_method: Optional[str] = None):
+                 start_method: Optional[str] = None, batched: bool = True):
         if delta <= 0:
             raise ValueError("window size delta must be positive")
         if workers < 1:
             raise ValueError("need at least one worker")
         self.delta = delta
+        #: When True (default), workers feed each broadcast batch to
+        #: their engines through ``MatchEngine.on_batch`` (the fast
+        #: path); False keeps the per-event dispatch.  Output is
+        #: byte-identical either way.
+        self.batched = batched
         self.stats = ServiceStats()
         self._queries: Dict[str, _QueryInfo] = {}
         self._placement = ShardPlacement(workers)
@@ -324,8 +329,10 @@ class ShardedMatchService:
             prefix, failure = self._validated_prefix(edges)
             notifications: List[MatchNotification] = []
             if prefix:
+                verb = (protocol.INGEST_BATCH if self.batched
+                        else protocol.INGEST)
                 notifications = self._collect(
-                    self._broadcast((protocol.INGEST, prefix)))
+                    self._broadcast((verb, prefix)))
                 self._now = prefix[-1].t
                 self._seq += len(prefix)
                 self.stats.edges_ingested += len(prefix)
@@ -336,6 +343,13 @@ class ShardedMatchService:
         if failure is not None:
             raise OutOfOrderError(failure, notifications)
         return notifications
+
+    def process_batch(self, edges: Iterable[Edge]
+                      ) -> List[MatchNotification]:
+        """API parity with :meth:`MatchService.process_batch`: the
+        coordinator's :meth:`ingest` is already batch-granular (one
+        broadcast per batch; workers use ``on_batch`` when ``batched``)."""
+        return self.ingest(edges)
 
     def advance_to(self, t: int) -> List[MatchNotification]:
         """Advance the clock to ``t`` without ingesting edges, expiring

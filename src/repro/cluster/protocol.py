@@ -38,6 +38,7 @@ QUERY_STATS = "query_stats"  # payload: query_id
 QUARANTINE = "quarantine"    # payload: (query_id, error message)
 CURSOR = "cursor"            # payload: (now, seq) — checkpoint restore
 INGEST = "ingest"            # payload: list of edges (validated prefix)
+INGEST_BATCH = "ingest_batch"  # payload: edges; engines see on_batch
 ADVANCE = "advance"          # payload: timestamp
 DRAIN = "drain"              # payload: None
 STATS = "stats"              # payload: None

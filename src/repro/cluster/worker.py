@@ -47,6 +47,8 @@ class ShardWorker:
     # ------------------------------------------------------------------
     def dispatch(self, verb: str, payload: object) -> object:
         service = self.service
+        if verb == protocol.INGEST_BATCH:
+            return service.process_batch(payload)
         if verb == protocol.INGEST:
             return service.ingest(payload)
         if verb == protocol.ADVANCE:

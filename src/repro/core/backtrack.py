@@ -32,11 +32,13 @@ the strongest possible signal for rule 3.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import (
+    FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple,
+)
 
 from repro.core.dcs import DCS
 from repro.graph.temporal_graph import Edge, TemporalGraph
-from repro.query.matching import edge_orientations, make_image
+from repro.query.matching import make_image, orientations_of
 from repro.query.temporal_query import QueryEdge, TemporalQuery
 from repro.streaming.engine import EngineStats
 from repro.streaming.match import Match
@@ -67,29 +69,48 @@ class Backtracker:
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
-    def find_matches(self, event_edge: Edge) -> List[Match]:
+    def find_matches(self, event_edge: Edge,
+                     pairs: Optional[Iterable[Tuple[int, int, int]]] = None
+                     ) -> List[Match]:
         """All time-constrained embeddings whose image contains
-        ``event_edge``, given the current graph and DCS state."""
+        ``event_edge``, given the current graph and DCS state.
+
+        ``pairs`` optionally narrows the seeding to precomputed
+        label-compatible ``(query edge, image of qe.u, image of qe.v)``
+        assignments (the engine already has them from its filter
+        bookkeeping); omitted, every query edge and orientation is
+        probed.  Returned in canonical (sorted) order: the exploration
+        order depends on the filter state, which the batched ingestion
+        path deliberately lets go stale between flushes, so a canonical
+        output order is what makes the two paths byte-identical.
+        """
         self._out = []
         t = event_edge.t
-        for qe in self.query.edges:
-            for va, vb in edge_orientations(self.query, qe, event_edge):
-                if va == vb:
-                    continue
-                if not self.dcs.has_edge(qe.index, va, vb, t):
-                    continue
-                if not (self.dcs.d2(qe.u, va) and self.dcs.d2(qe.v, vb)):
-                    continue
-                self._vmap[qe.u], self._vmap[qe.v] = va, vb
-                self._used_v.update((va, vb))
-                self._emap[qe.index] = event_edge
-                self._used_e.add(event_edge)
-                self._explore()
-                self._used_e.discard(event_edge)
-                self._emap[qe.index] = None
-                self._used_v.difference_update((va, vb))
-                self._vmap[qe.u] = self._vmap[qe.v] = None
+        dcs = self.dcs
+        query = self.query
+        if pairs is None:
+            orients = orientations_of(query, event_edge)
+            pairs = [(qe.index, va, vb)
+                     for qe in query.edges for va, vb in orients]
+        for e, va, vb in pairs:
+            if va == vb:
+                continue
+            if not dcs.has_edge(e, va, vb, t):
+                continue
+            qe = query.edges[e]
+            if not (dcs.d2(qe.u, va) and dcs.d2(qe.v, vb)):
+                continue
+            self._vmap[qe.u], self._vmap[qe.v] = va, vb
+            self._used_v.update((va, vb))
+            self._emap[e] = event_edge
+            self._used_e.add(event_edge)
+            self._explore()
+            self._used_e.discard(event_edge)
+            self._emap[e] = None
+            self._used_v.difference_update((va, vb))
+            self._vmap[qe.u] = self._vmap[qe.v] = None
         self.stats.matches_emitted += len(self._out)
+        self._out.sort()
         return self._out
 
     # ------------------------------------------------------------------
@@ -159,13 +180,15 @@ class Backtracker:
                     lo = t_f
             elif t_f < hi:
                 hi = t_f
+        na, nb = (b, a) if not self.query.directed and a > b else (a, b)
+        used = self._used_e
         out = []
         for t in self.dcs.timestamps(e, a, b):
             if t <= lo:
                 continue
             if t >= hi:
                 break
-            if make_image(self.query, a, b, t) not in self._used_e:
+            if Edge(na, nb, t) not in used:
                 out.append(t)
         return out
 
@@ -241,11 +264,12 @@ class Backtracker:
     def _pick_vertex(self) -> Optional[int]:
         """The extendable vertex with the fewest candidates (SymBi's
         adaptive matching order), or None when all vertices are mapped."""
+        vmap = self._vmap
         best_u, best_cm = None, None
         for u in range(self.query.num_vertices):
-            if self._vmap[u] is not None:
+            if vmap[u] is not None:
                 continue
-            if all(self._vmap[w] is None for w in self.query.neighbors(u)):
+            if all(vmap[w] is None for w in self.query.neighbors(u)):
                 continue
             cm = self._cm(u)
             if best_cm is None or len(cm) < len(best_cm):
@@ -259,24 +283,25 @@ class Backtracker:
 
     def _cm(self, u: int) -> List[int]:
         """Candidate data vertices for ``u`` (label/DCS/adjacency filter)."""
-        anchors = [qe for qe in self.query.incident_edges(u)
-                   if self._vmap[qe.other(u)] is not None]
-        pool = self.graph.neighbors(self._vmap[anchors[0].other(u)])
+        vmap = self._vmap
+        anchors = [(e, vmap[other], u_is_u)
+                   for e, other, u_is_u in self.query.incident_meta(u)
+                   if vmap[other] is not None]
+        pool = self.graph.neighbors(anchors[0][1])
+        d2_table = self.dcs.d2_table(u)
+        used = self._used_v
+        timestamps = self.dcs.timestamps
         out = []
         for v in pool:
-            if v in self._used_v or not self.dcs.d2(u, v):
+            if v in used or not d2_table.get(v, False):
                 continue
-            if all(self._dcs_nonempty(qe, u, v) for qe in anchors):
+            for e, w, u_is_u in anchors:
+                if not (timestamps(e, v, w) if u_is_u
+                        else timestamps(e, w, v)):
+                    break
+            else:
                 out.append(v)
         return out
-
-    def _dcs_nonempty(self, qe: QueryEdge, u: int, v: int) -> bool:
-        """True if some DCS edge supports mapping ``u -> v`` across
-        ``qe`` given the mapped other endpoint."""
-        w = self._vmap[qe.other(u)]
-        if u == qe.u:
-            return bool(self.dcs.timestamps(qe.index, v, w))
-        return bool(self.dcs.timestamps(qe.index, w, v))
 
     def _extend_vertex(self, u: int) -> Tuple[int, FrozenSet[int]]:
         cm = self._cm_cache

@@ -16,16 +16,34 @@ maps ``u`` to ``v`` when ``D2[u, v]`` holds.  Both tables are maintained
 incrementally with the same worklist pattern as the max-min index.  The
 number of stored DCS edges and the number of pairs with ``D2`` true are
 the two filtering-power measures of Table V.
+
+Batched maintenance
+-------------------
+Candidate-edge mutation and D1/D2 propagation are split: :meth:`stage`
+applies edge changes and accumulates the touched data vertices,
+:meth:`refresh` runs the worklist once for an arbitrary accumulation.
+The batched engines stage every event of an expiration run and refresh
+a single time (at the next arrival or batch end), so D1/D2 propagation
+over shared vertices runs once instead of per event; :meth:`apply`
+composes the two for the per-event path.  The D1/D2 tables are stored
+as one data-vertex dict per query vertex — the ``d2`` gate is probed on
+every backtracking extension, and an int-keyed dict probe beats tuple
+hashing.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
+from bisect import bisect_left
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.dag import QueryDag
 from repro.graph.temporal_graph import TemporalGraph
+
+_EMPTY: List[int] = []
+
+#: :meth:`DCS.discard_edge` outcomes.
+_ABSENT, _REMOVED, _EMPTIED = 0, 1, 2
 
 
 class DCS:
@@ -40,8 +58,15 @@ class DCS:
         self._pairs: List[Dict[Tuple[int, int], List[int]]] = [
             {} for _ in range(self.query.num_edges)]
         self._num_edges = 0
-        self._d1: Dict[Tuple[int, int], bool] = {}
-        self._d2: Dict[Tuple[int, int], bool] = {}
+        # _d1[u][v] / _d2[u][v]: one data-vertex table per query vertex.
+        self._d1: List[Dict[int, bool]] = [
+            {} for _ in range(self.query.num_vertices)]
+        self._d2: List[Dict[int, bool]] = [
+            {} for _ in range(self.query.num_vertices)]
+        # Entry/truth counters so the per-event statistics reads
+        # (size, Table V measures) are O(1) instead of table scans.
+        self._table_entries = 0     # pairs present (same keys in both)
+        self._d2_true = 0           # pairs with D2 true
 
     # ------------------------------------------------------------------
     # Edge set
@@ -51,18 +76,61 @@ class DCS:
 
         ``adds`` and ``removes`` are iterables of ``(e, a, b, t)`` tuples
         (query-edge index, canonical endpoint images, timestamp).  The
-        D1/D2 worklist runs once for the whole batch, seeded at every
-        label-compatible query vertex of every touched data vertex.
+        D1/D2 worklist runs once for the whole batch.
         """
-        touched: Set[int] = set()
+        seeds: Set[Tuple[int, int]] = set()
+        vertices: Set[int] = set()
+        self.stage(adds, removes, seeds, vertices)
+        if seeds or vertices:
+            self.refresh(seeds, vertices)
+
+    def stage(self, adds, removes, seeds: Set[Tuple[int, int]],
+              vertices: Set[int]) -> None:
+        """Apply candidate-edge changes *without* refreshing D1/D2.
+
+        The worklist seeds of the changes — the ``(query vertex, data
+        vertex)`` entries that directly read each changed candidate list
+        (its DAG-side endpoints at their images) — are accumulated into
+        ``seeds``, the touched data vertices into ``vertices``; callers
+        collect them across events and pass both to :meth:`refresh`
+        once.  Until then the D1/D2 tables are stale relative to a
+        *superset* state — a sound (over-approximate) filter, which is
+        exactly what the batched engines rely on between backtracking
+        flush points.
+        """
+        # D1/D2 read candidate lists only through their *nonemptiness*
+        # (the any(...) gates of the recurrences), so only an
+        # empty <-> nonempty transition can flip a value — adds and
+        # removes that keep a list nonempty skip the worklist entirely.
         for e, a, b, t in adds:
-            self._insert(e, a, b, t)
-            touched.update((a, b))
+            if self._insert(e, a, b, t):
+                self.add_seeds(e, a, b, seeds)
+            vertices.add(a)
+            vertices.add(b)
         for e, a, b, t in removes:
-            self._delete(e, a, b, t)
-            touched.update((a, b))
-        if touched:
-            self._refresh(touched)
+            code = self.discard_edge(e, a, b, t)
+            if code == _ABSENT:
+                raise KeyError(f"DCS edge ({e}, {a}, {b}, {t}) not present")
+            if code == _EMPTIED:
+                self.add_seeds(e, a, b, seeds)
+            vertices.add(a)
+            vertices.add(b)
+
+    def add_seeds(self, e: int, a: int, b: int,
+                  seeds: Set[Tuple[int, int]]) -> None:
+        """Accumulate the worklist seeds reading candidate list
+        ``(e, a, b)``: D1 is read at the child-side endpoint's image, D2
+        at the parent-side endpoint's image; the worklist recomputes both
+        tables per popped pair and propagates flips, so seeding the two
+        endpoint entries reaches the same fixed point as seeding every
+        label-compatible query vertex (the D1/D2 recurrences are acyclic
+        along the DAG, hence have a unique solution)."""
+        qe = self.query.edges[e]
+        dag = self.dag
+        child = dag.edge_child[e]
+        parent = dag.edge_parent[e]
+        seeds.add((child, a if child == qe.u else b))
+        seeds.add((parent, a if parent == qe.u else b))
 
     def add_edge(self, e: int, a: int, b: int, t: int) -> None:
         """Insert one candidate edge and refresh D1/D2."""
@@ -72,25 +140,39 @@ class DCS:
         """Remove one candidate edge and refresh D1/D2."""
         self.apply([], [(e, a, b, t)])
 
-    def _insert(self, e: int, a: int, b: int, t: int) -> None:
+    def discard_edge(self, e: int, a: int, b: int, t: int) -> int:
+        """Remove one candidate edge if present, without refreshing
+        D1/D2; returns 0 when absent, 1 when removed, 2 when the removal
+        emptied the pair's list (the only case that can flip a D1/D2
+        value).  Used by the batched engines to purge the entries of an
+        expired data edge the moment it leaves the graph (the DCS must
+        never admit dead edges into backtracking, even between deferred
+        refreshes)."""
+        slot = self._pairs[e].get((a, b))
+        if slot is not None:
+            idx = bisect_left(slot, t)
+            if idx < len(slot) and slot[idx] == t:
+                slot.pop(idx)
+                self._num_edges -= 1
+                if not slot:
+                    del self._pairs[e][(a, b)]
+                    return _EMPTIED
+                return _REMOVED
+        return _ABSENT
+
+    def _insert(self, e: int, a: int, b: int, t: int) -> bool:
+        """Insert a candidate edge; True if the pair's list was empty."""
         slot = self._pairs[e].setdefault((a, b), [])
         idx = bisect_left(slot, t)
         if idx < len(slot) and slot[idx] == t:
             raise ValueError(f"duplicate DCS edge ({e}, {a}, {b}, {t})")
         slot.insert(idx, t)
         self._num_edges += 1
+        return len(slot) == 1
 
     def _delete(self, e: int, a: int, b: int, t: int) -> None:
-        slot = self._pairs[e].get((a, b))
-        if slot is not None:
-            idx = bisect_left(slot, t)
-            if idx < len(slot) and slot[idx] == t:
-                slot.pop(idx)
-                if not slot:
-                    del self._pairs[e][(a, b)]
-                self._num_edges -= 1
-                return
-        raise KeyError(f"DCS edge ({e}, {a}, {b}, {t}) not present")
+        if not self.discard_edge(e, a, b, t):
+            raise KeyError(f"DCS edge ({e}, {a}, {b}, {t}) not present")
 
     def has_edge(self, e: int, a: int, b: int, t: int) -> bool:
         """Membership test for an exact candidate edge."""
@@ -104,7 +186,7 @@ class DCS:
         """Sorted surviving timestamps for query edge ``e`` when its
         canonical endpoints map to ``a`` and ``b`` (internal list; do not
         mutate)."""
-        return self._pairs[e].get((a, b), [])
+        return self._pairs[e].get((a, b), _EMPTY)
 
     def num_edges(self) -> int:
         """Total number of stored candidate edges (Table V, top)."""
@@ -112,50 +194,52 @@ class DCS:
 
     def num_d2_vertices(self) -> int:
         """Number of vertex pairs passing the filter (Table V, bottom)."""
-        return sum(1 for v in self._d2.values() if v)
+        return self._d2_true
 
     def size(self) -> int:
         """Stored entries (memory accounting)."""
-        return self._num_edges + len(self._d1) + len(self._d2)
+        return self._num_edges + 2 * self._table_entries
 
     # ------------------------------------------------------------------
     # D1 / D2 filter
     # ------------------------------------------------------------------
     def d2(self, u: int, v: int) -> bool:
         """The bidirectional vertex filter used by backtracking."""
-        return self._d2.get((u, v), False)
+        return self._d2[u].get(v, False)
+
+    def d2_table(self, u: int) -> Dict[int, bool]:
+        """The D2 table of query vertex ``u`` (read-only view for the
+        candidate loops: one dict probe per data vertex instead of a
+        method call)."""
+        return self._d2[u]
 
     def d1(self, u: int, v: int) -> bool:
         """The ancestor-side filter (exposed for tests/statistics)."""
-        return self._d1.get((u, v), False)
+        return self._d1[u].get(v, False)
 
-    def _refresh(self, touched: Set[int]) -> None:
-        """Recompute D1/D2 around the data vertices in ``touched``.
-
-        Every label-compatible query vertex of a touched data vertex is
-        seeded; the worklist then propagates any flips down (D1) and up
-        (D2) the DAG.  Entries of data vertices that left the window are
-        purged afterwards.
+    def refresh(self, seeds: Iterable[Tuple[int, int]],
+                vertices: Iterable[int]) -> None:
+        """Recompute D1/D2 from the accumulated worklist ``seeds`` (see
+        :meth:`add_seeds`); the worklist propagates any flips down (D1)
+        and up (D2) the DAG.  Entries of touched data ``vertices`` that
+        left the window are purged afterwards.
         """
-        seeds: List[Tuple[int, int]] = []
-        for v in touched:
-            if not self.graph.has_vertex(v):
-                continue
-            label = self.graph.label(v)
-            seeds.extend((u, v) for u in range(self.query.num_vertices)
-                         if self.query.label(u) == label)
-        self._run_worklist(seeds)
-        self.purge_dead_vertices(tuple(touched))
+        graph = self.graph
+        self._run_worklist([(u, v) for u, v in seeds
+                            if graph.has_vertex(v)])
+        self.purge_dead_vertices(vertices)
 
-    def purge_dead_vertices(self, vertices: Tuple[int, ...]) -> None:
+    def purge_dead_vertices(self, vertices: Iterable[int]) -> None:
         """Drop D1/D2 entries of vertices that left the window."""
         for v in vertices:
             if self.graph.has_vertex(v):
                 continue
-            for table in (self._d1, self._d2):
-                gone = [key for key in table if key[1] == v]
-                for key in gone:
-                    del table[key]
+            for table in self._d1:
+                if table.pop(v, None) is not None:
+                    self._table_entries -= 1
+            for table in self._d2:
+                if table.pop(v, None):
+                    self._d2_true -= 1
 
     def _run_worklist(self, seeds: List[Tuple[int, int]]) -> None:
         queue: Deque[Tuple[int, int]] = deque()
@@ -166,31 +250,37 @@ class DCS:
                 queued.add((u, v))
                 queue.append((u, v))
 
+        graph = self.graph
+        qlabel = self.query.label
         for u, v in seeds:
             enqueue(u, v)
         while queue:
             u, v = queue.popleft()
             queued.discard((u, v))
-            if not self.graph.has_vertex(v):
+            if not graph.has_vertex(v):
                 continue
             d1_new = self._compute_d1(u, v)
             d2_new = self._compute_d2(u, v, d1_new)
-            d1_old = self._d1.get((u, v))
-            d2_old = self._d2.get((u, v))
-            self._d1[(u, v)] = d1_new
-            self._d2[(u, v)] = d2_new
+            d1_old = self._d1[u].get(v)
+            d2_old = self._d2[u].get(v)
+            self._d1[u][v] = d1_new
+            self._d2[u][v] = d2_new
+            if d1_old is None:
+                self._table_entries += 1
+            if d2_new != bool(d2_old):
+                self._d2_true += 1 if d2_new else -1
             if d1_new != d1_old:
                 # D1 flows to children; D2 of this pair already redone.
                 for uc, _e in self.dag.children_of[u]:
-                    label = self.query.label(uc)
-                    for vc in self.graph.neighbors(v):
-                        if self.graph.label(vc) == label:
+                    label = qlabel(uc)
+                    for vc in graph.neighbors(v):
+                        if graph.label(vc) == label:
                             enqueue(uc, vc)
             if d2_new != d2_old:
                 for up, _e in self.dag.parents_of[u]:
-                    label = self.query.label(up)
-                    for vp in self.graph.neighbors(v):
-                        if self.graph.label(vp) == label:
+                    label = qlabel(up)
+                    for vp in graph.neighbors(v):
+                        if graph.label(vp) == label:
                             enqueue(up, vp)
 
     def _edge_images(self, e: int, u_side: int, v: int, w: int) -> List[int]:
@@ -202,25 +292,29 @@ class DCS:
         return self.timestamps(e, w, v)
 
     def _compute_d1(self, u: int, v: int) -> bool:
-        if self.query.label(u) != self.graph.label(v):
+        graph = self.graph
+        if self.query.label(u) != graph.label(v):
             return False
         for up, e in self.dag.parents_of[u]:
             label = self.query.label(up)
-            if not any(self.graph.label(vp) == label
-                       and self._d1.get((up, vp), False)
+            table = self._d1[up]
+            if not any(graph.label(vp) == label
+                       and table.get(vp, False)
                        and self._edge_images(e, u, v, vp)
-                       for vp in self.graph.neighbors(v)):
+                       for vp in graph.neighbors(v)):
                 return False
         return True
 
     def _compute_d2(self, u: int, v: int, d1_value: bool) -> bool:
         if not d1_value:
             return False
+        graph = self.graph
         for uc, e in self.dag.children_of[u]:
             label = self.query.label(uc)
-            if not any(self.graph.label(vc) == label
-                       and self._d2.get((uc, vc), False)
+            table = self._d2[uc]
+            if not any(graph.label(vc) == label
+                       and table.get(vc, False)
                        and self._edge_images(e, u, v, vc)
-                       for vc in self.graph.neighbors(v)):
+                       for vc in graph.neighbors(v)):
                 return False
         return True

@@ -26,7 +26,7 @@ recurrence; a missing weak embedding means the edge is filtered outright.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Optional, Set, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.dag import QueryDag
 from repro.graph.temporal_graph import TemporalGraph
@@ -45,21 +45,43 @@ class MaxMinIndex:
     """Max-min timestamp table ``T(q̂)`` for one query DAG over one graph.
 
     The graph is owned by the engine and mutated externally; after each
-    edge insertion/removal the engine calls :meth:`on_graph_change`, which
+    edge insertion/removal the engine calls :meth:`on_graph_change`
+    (or :meth:`on_graph_changes` for a whole batch of data pairs), which
     reruns the dynamic program on exactly the affected entries and returns
     the set of ``(u, v)`` pairs whose entry changed.
+
+    Entries are stored as one data-vertex dict per query vertex
+    (``_entries[u][v]``): lookups key on a plain int instead of hashing
+    an ``(u, v)`` tuple, and purging a dead data vertex is one ``pop``
+    per query vertex instead of a full-table scan.
     """
 
     def __init__(self, dag: QueryDag, graph: TemporalGraph):
         self.dag = dag
         self.query = dag.query
         self.graph = graph
-        self._entries: Dict[Tuple[int, int], Entry] = {}
+        self._entries: List[Dict[int, Entry]] = [
+            {} for _ in range(self.query.num_vertices)]
         # Entry (u, v) always stores 1 + |rel_gt[u]| + |rel_lt[u]|
         # scalars, so the total size is maintainable as a counter.
         self._entry_cost = [1 + len(dag.rel_gt[u]) + len(dag.rel_lt[u])
                             for u in range(self.query.num_vertices)]
         self._size = 0
+        # Worklist seeding rules, resolved once: a changed data pair
+        # (a, b) seeds the parent-side entry (up, a) of every DAG edge
+        # whose endpoint labels match (label(a), label(b)).
+        self._seed_rules: Tuple[Tuple[object, object, int], ...] = tuple({
+            (self.query.label(dag.edge_parent[e]),
+             self.query.label(dag.edge_child[e]),
+             dag.edge_parent[e])
+            for e in range(self.query.num_edges)})
+        # Per-child-loop constants of the Equation (1) recurrence,
+        # resolved once per DAG edge: (child label, canonical endpoint
+        # qe.u, query edge label).
+        self._edge_consts = [
+            (self.query.label(dag.edge_child[e]), self.query.edges[e].u,
+             self.query.edge_label(e))
+            for e in range(self.query.num_edges)]
 
     # ------------------------------------------------------------------
     # Lookup
@@ -74,11 +96,11 @@ class MaxMinIndex:
             return _ABSENT
         if self.query.label(u) != self.graph.label(v):
             return _ABSENT
-        key = (u, v)
-        cached = self._entries.get(key)
+        table = self._entries[u]
+        cached = table.get(v)
         if cached is None:
             cached = self._compute(u, v)
-            self._entries[key] = cached
+            table[v] = cached
             self._size += self._entry_cost[u]
         return cached
 
@@ -100,17 +122,32 @@ class MaxMinIndex:
     # Maintenance
     # ------------------------------------------------------------------
     def on_graph_change(self, v1: int, v2: int) -> Set[Tuple[int, int]]:
-        """Refresh entries after an edge between ``v1``/``v2`` changed.
+        """Refresh entries after an edge between ``v1``/``v2`` changed."""
+        return self.on_graph_changes(((v1, v2),))
+
+    def on_graph_changes(self, pairs: Iterable[Tuple[int, int]]
+                         ) -> Set[Tuple[int, int]]:
+        """Refresh entries after edges between the data ``pairs`` changed.
 
         Implements the propagation of Algorithm 3: recompute the
-        parent-side entries of every DAG edge the data edge can match,
+        parent-side entries of every DAG edge each data edge can match,
         then bubble changes to ancestors whose recurrence reads them.
-        Returns all ``(u, v)`` pairs whose entry changed.
+        The dynamic program is state-based (entries are recomputed from
+        the current graph, not patched from deltas), so seeding one
+        worklist with every changed pair of a batch reaches the same
+        fixed point as running the propagation per event — shared pairs
+        are recomputed once.  Returns all ``(u, v)`` pairs whose entry
+        changed.
         """
+        graph = self.graph
+        qlabel = self.query.label
         changed: Set[Tuple[int, int]] = set()
-        for v in (v1, v2):
-            if not self.graph.has_vertex(v):
-                changed.update(self._purge_vertex(v))
+        dead: Set[int] = set()
+        for v1, v2 in pairs:
+            for v in (v1, v2):
+                if v not in dead and not graph.has_vertex(v):
+                    dead.add(v)
+                    changed.update(self._purge_vertex(v))
 
         queue: Deque[Tuple[int, int]] = deque()
         queued: Set[Tuple[int, int]] = set()
@@ -120,45 +157,57 @@ class MaxMinIndex:
                 queued.add((u, v))
                 queue.append((u, v))
 
-        for e in range(self.query.num_edges):
-            up = self.dag.edge_parent[e]
-            uc = self.dag.edge_child[e]
+        seed_rules = self._seed_rules
+        for v1, v2 in pairs:
             for a, b in ((v1, v2), (v2, v1)):
-                if not self.graph.has_vertex(a):
+                if a in dead or not graph.has_vertex(a):
                     continue
-                if (self.query.label(up) == self.graph.label(a)
-                        and self.query.label(uc) == self.graph.label(b)):
-                    enqueue(up, a)
+                la, lb = graph.label(a), graph.label(b)
+                for lp, lc, up in seed_rules:
+                    if lp == la and lc == lb:
+                        enqueue(up, a)
 
         while queue:
             u, v = queue.popleft()
             queued.discard((u, v))
-            if not self.graph.has_vertex(v):
+            if not graph.has_vertex(v):
                 continue
-            old = self._entries.get((u, v))
+            table = self._entries[u]
+            old = table.get(v)
             new = self._compute(u, v)
             if old is None:
                 self._size += self._entry_cost[u]
             if old == new:
                 if old is None:
-                    self._entries[(u, v)] = new
+                    table[v] = new
                 continue
-            self._entries[(u, v)] = new
+            table[v] = new
             changed.add((u, v))
             for up, _e in self.dag.parents_of[u]:
-                up_label = self.query.label(up)
-                for vp in self.graph.neighbors(v):
-                    if self.graph.label(vp) == up_label:
+                up_label = qlabel(up)
+                for vp in graph.neighbors(v):
+                    if graph.label(vp) == up_label:
                         enqueue(up, vp)
         return changed
 
+    def purge_vertex(self, v: int) -> Set[Tuple[int, int]]:
+        """Drop all cached entries at a data vertex that left the window.
+
+        Engines call this the moment a vertex dies (its last edge
+        expired) when they skip the full propagation for the event — a
+        stale cached entry must never survive into the vertex's next
+        life in the window.
+        """
+        return self._purge_vertex(v)
+
     def _purge_vertex(self, v: int) -> Set[Tuple[int, int]]:
         """Drop all cached entries at a vertex that left the window."""
-        gone = [key for key in self._entries if key[1] == v]
-        for key in gone:
-            del self._entries[key]
-            self._size -= self._entry_cost[key[0]]
-        return set(gone)
+        gone: Set[Tuple[int, int]] = set()
+        for u, table in enumerate(self._entries):
+            if table.pop(v, None) is not None:
+                self._size -= self._entry_cost[u]
+                gone.add((u, v))
+        return gone
 
     # ------------------------------------------------------------------
     # The dynamic program (Equation (1))
@@ -173,34 +222,47 @@ class MaxMinIndex:
         gt: Dict[int, float] = {e: INF for e in rel_gt}
         lt: Dict[int, float] = {e: -INF for e in rel_lt}
         ok = True
+        edge_consts = self._edge_consts
+        entries = self._entries
+        glabel = graph.label
+        precedes = query.precedes
         for uc, eps in dag.children_of[u]:
-            uc_label = query.label(uc)
-            eps_u = query.edges[eps].u
+            uc_label, eps_u, eps_label = edge_consts[eps]
+            child_entries = entries[uc]
             child_found = False
             best_gt: Dict[int, float] = {e: -INF for e in rel_gt}
             best_lt: Dict[int, float] = {e: INF for e in rel_lt}
             for vc in graph.neighbors(v):
-                if graph.label(vc) != uc_label:
+                if glabel(vc) != uc_label:
                     continue
                 # Direction / edge-label aware parallel-edge candidates
                 # for the DAG edge (u -> uc) with u -> v, uc -> vc.
                 a, b = (v, vc) if u == eps_u else (vc, v)
-                ts = candidate_timestamps(query, graph, eps, a, b)
+                if eps_label is None:
+                    ts = graph.timestamps_between(a, b)
+                else:
+                    ts = graph.timestamps_with_label(a, b, eps_label)
                 if not ts:
                     continue
-                c_ok, c_gt, c_lt = self.entry(uc, vc)
+                # Stored entries are live and label-compatible by
+                # construction, so probe the table before paying the
+                # full checked lookup of entry().
+                child = child_entries.get(vc)
+                if child is None:
+                    child = self.entry(uc, vc)
+                c_ok, c_gt, c_lt = child
                 if not c_ok:
                     continue
                 child_found = True
                 t_max, t_min = ts[-1], ts[0]
                 for e in rel_gt:
                     base = c_gt.get(e, INF)
-                    val = min(t_max, base) if query.precedes(e, eps) else base
+                    val = min(t_max, base) if precedes(e, eps) else base
                     if val > best_gt[e]:
                         best_gt[e] = val
                 for e in rel_lt:
                     base = c_lt.get(e, -INF)
-                    val = max(t_min, base) if query.precedes(eps, e) else base
+                    val = max(t_min, base) if precedes(eps, e) else base
                     if val < best_lt[e]:
                         best_lt[e] = val
             if not child_found:

@@ -15,6 +15,28 @@ For expirations the matches are collected *before* the edge is removed,
 which reports exactly the embeddings that expire with it — the same
 output as the paper's ordering of Algorithm 1.
 
+Batched ingestion (:meth:`TCMEngine.on_batch`)
+----------------------------------------------
+Steps 2-3 dominate the per-event cost, and a heavy stream touches the
+same data pairs over and over.  ``on_batch`` therefore *defers* filter
+maintenance and runs it once per flush point instead of once per event:
+
+* an **expiration** backtracks first (exactly as per-event), removes its
+  edge from the graph and purges its own DCS entries, but leaves the
+  max-min tables and D1/D2 untouched — between flushes those tables
+  describe a *superset* window, which keeps the filter sound (it may
+  admit extra exploration, never extra or missing matches: every match
+  is verified exactly by the backtracking itself, and a sound filter on
+  a superset graph still contains every true candidate);
+* an **arrival** needs the filter complete for its own backtracking
+  (a stale table could be missing candidates the new edge just made
+  TC-matchable), so it flushes: one max-min propagation seeded with all
+  accumulated data pairs, one candidate diff over the accumulated
+  affected pairs, one D1/D2 worklist run.
+
+Output is byte-identical to the per-event path (both emit canonically
+sorted per-event match lists); only the maintenance *work* is deduped.
+
 Two switches produce the paper's ablations (Section VI-B): with
 ``use_pruning=False`` the engine is the paper's ``TCM-Pruning`` variant
 (TC-matchable filtering only); with ``use_tc_filter=False`` filtering
@@ -24,16 +46,17 @@ stays on (an extra ablation used in the benchmarks).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.core.backtrack import Backtracker
 from repro.core.dag import QueryDag, build_best_dag
 from repro.core.dcs import DCS
 from repro.core.maxmin import MaxMinIndex
 from repro.graph.temporal_graph import Edge, TemporalGraph
-from repro.query.matching import candidate_timestamps, edge_orientations
+from repro.query.matching import candidate_timestamps, orientations_of
 from repro.query.temporal_query import TemporalQuery
 from repro.streaming.engine import MatchEngine
+from repro.streaming.events import Event
 from repro.streaming.match import Match
 
 # A candidate *pair*: (query edge index, image of qe.u, image of qe.v).
@@ -67,6 +90,14 @@ class TCMEngine(MatchEngine):
             query, self.dcs, self.graph, self.stats, use_pruning=use_pruning)
         self._edges_by_child_fwd = self._index_edges_by_child(self.dag)
         self._edges_by_child_rev = self._index_edges_by_child(self.rdag)
+        # An event edge whose endpoint labels match no query edge can
+        # neither hold candidate entries nor shift any max-min value or
+        # D1/D2 bit (the DP only reads timestamps of label-compatible
+        # pairs), so the engine skips all filter maintenance and
+        # backtracking for it.
+        self._relevant_pairs = query.relevant_label_pairs()
+        self.stats.extra.update(
+            events=0, dcs_edges_sum=0, dcs_vertices_sum=0)
 
     @staticmethod
     def _index_edges_by_child(dag: QueryDag) -> Dict[int, List[int]]:
@@ -79,31 +110,151 @@ class TCMEngine(MatchEngine):
     # Event handling
     # ------------------------------------------------------------------
     def on_edge_insert(self, edge: Edge) -> List[Match]:
-        self.graph.insert_edge(edge, label=self._edge_label(edge))
-        affected = self._update_filter_indexes(edge)
+        if not self.graph.insert_edge(edge, label=self._edge_label(edge)):
+            return []  # duplicate (u, v, t): idempotent no-op
+        if not self._is_relevant(edge):
+            self._note_event()
+            return []
+        cands = self._event_edge_candidates(edge)
+        affected = self._update_filter_indexes(edge, cands)
         adds, removes = self._diff_candidates(affected)
         self.dcs.apply(adds, removes)
         self._note_event()
-        return self.backtracker.find_matches(edge)
+        return self.backtracker.find_matches(edge, cands)
 
     def on_edge_expire(self, edge: Edge) -> List[Match]:
-        matches = self.backtracker.find_matches(edge)
+        if not self.graph.has_edge(edge):
+            return []  # expiration of a deduplicated arrival: no-op
+        if not self._is_relevant(edge):
+            self.graph.remove_edge(edge)
+            self._purge_dead_endpoints(edge)
+            self._note_event()
+            return []
+        cands = self._event_edge_candidates(edge)
+        matches = self.backtracker.find_matches(edge, cands)
         self.graph.remove_edge(edge)
-        affected = self._update_filter_indexes(edge)
-        affected.update(self._event_edge_candidates(edge))
+        affected = self._update_filter_indexes(edge, cands)
         adds, removes = self._diff_candidates(affected)
         self.dcs.apply(adds, removes)
         self._note_event()
         return matches
 
+    def _is_relevant(self, edge: Edge) -> bool:
+        """True if some query edge is endpoint-label compatible with the
+        event edge; irrelevant events only mutate the window graph."""
+        glabel = self.graph.label
+        return (glabel(edge.u), glabel(edge.v)) in self._relevant_pairs
+
+    def _purge_dead_endpoints(self, edge: Edge) -> None:
+        """Evict max-min entries of endpoints that just left the window
+        (the full propagation was skipped for this event; a stale cached
+        entry must not survive into the vertex's next window life)."""
+        graph = self.graph
+        for v in (edge.u, edge.v):
+            if not graph.has_vertex(v):
+                self.fwd.purge_vertex(v)
+                self.rev.purge_vertex(v)
+
+    def on_batch(self, events: Sequence[Event]) -> List[List[Match]]:
+        """Batched ingestion: defer and dedupe the filter maintenance
+        across the batch (see the module docstring for why the output
+        stays byte-identical to the per-event path)."""
+        out: List[List[Match]] = []
+        pairs: Set[Tuple[int, int]] = set()      # data pairs changed
+        affected: Set[CandidatePair] = set()     # candidate pairs to diff
+        seeds: Set[Tuple[int, int]] = set()      # D1/D2 worklist seeds
+        vertices: Set[int] = set()               # D1/D2 purge checks
+        for event in events:
+            edge = event.edge
+            if event.is_arrival:
+                if not self.graph.insert_edge(
+                        edge, label=self._edge_label(edge)):
+                    out.append([])
+                    continue
+                if not self._is_relevant(edge):
+                    self._note_event()
+                    out.append([])
+                    continue
+                cands = self._event_edge_candidates(edge)
+                pairs.add((edge.u, edge.v))
+                affected.update(cands)
+                self._flush(pairs, affected, seeds, vertices)
+                self._note_event()
+                out.append(self.backtracker.find_matches(edge, cands))
+            else:
+                if not self.graph.has_edge(edge):
+                    out.append([])
+                    continue
+                if not self._is_relevant(edge):
+                    self.graph.remove_edge(edge)
+                    self._purge_dead_endpoints(edge)
+                    self._note_event()
+                    out.append([])
+                    continue
+                cands = self._event_edge_candidates(edge)
+                matches = self.backtracker.find_matches(edge, cands)
+                self.graph.remove_edge(edge)
+                self._purge_edge_entries(edge, seeds, vertices)
+                self._purge_dead_endpoints(edge)
+                pairs.add((edge.u, edge.v))
+                affected.update(cands)
+                self._note_event()
+                out.append(matches)
+        if pairs or affected or seeds or vertices:
+            self._flush(pairs, affected, seeds, vertices)
+        self.stats.batches_processed += 1
+        return out
+
+    def _flush(self, pairs: Set[Tuple[int, int]],
+               affected: Set[CandidatePair],
+               seeds: Set[Tuple[int, int]], vertices: Set[int]) -> None:
+        """Bring every filter structure up to date with the graph: one
+        max-min propagation over all accumulated data pairs, one
+        candidate diff, one D1/D2 worklist run."""
+        if self.use_tc_filter and pairs:
+            for index, by_child in ((self.fwd, self._edges_by_child_fwd),
+                                    (self.rev, self._edges_by_child_rev)):
+                changed = index.on_graph_changes(pairs)
+                for u, v in changed:
+                    for e in by_child.get(u, ()):
+                        affected.update(
+                            self._pairs_at_child(index.dag, e, v))
+        adds, removes = self._diff_candidates(affected)
+        self.dcs.stage(adds, removes, seeds, vertices)
+        if seeds or vertices:
+            self.dcs.refresh(seeds, vertices)
+        pairs.clear()
+        affected.clear()
+        seeds.clear()
+        vertices.clear()
+
+    def _purge_edge_entries(self, edge: Edge, seeds: Set[Tuple[int, int]],
+                            vertices: Set[int]) -> None:
+        """Drop the DCS entries of an expired edge without refreshing
+        D1/D2 (the DCS must never admit dead edges into backtracking,
+        even while the refresh is deferred)."""
+        dcs = self.dcs
+        t = edge.t
+        orients = orientations_of(self.query, edge)
+        for meta in self.query.edge_meta():
+            for a, b in orients:
+                code = dcs.discard_edge(meta.index, a, b, t)
+                if code:
+                    if code == 2:  # emptied: the only D1/D2-visible case
+                        dcs.add_seeds(meta.index, a, b, seeds)
+                    vertices.add(a)
+                    vertices.add(b)
+
     # ------------------------------------------------------------------
     # Filtering bookkeeping
     # ------------------------------------------------------------------
-    def _update_filter_indexes(self, edge: Edge) -> Set[CandidatePair]:
+    def _update_filter_indexes(self, edge: Edge,
+                               cands: Iterable[CandidatePair]
+                               ) -> Set[CandidatePair]:
         """Refresh the max-min indexes and gather every candidate pair
-        whose TC-matchable status may have changed."""
-        affected: Set[CandidatePair] = set(
-            self._event_edge_candidates(edge))
+        whose TC-matchable status may have changed (``cands`` are the
+        event edge's own label-compatible pairs)."""
+        affected: Set[CandidatePair] = set(cands)
         if not self.use_tc_filter:
             return affected
         for index, by_child in ((self.fwd, self._edges_by_child_fwd),
@@ -117,11 +268,17 @@ class TCMEngine(MatchEngine):
     def _event_edge_candidates(self, edge: Edge
                                ) -> Iterable[CandidatePair]:
         """Candidate pairs the event edge touches, per query edge and
-        orientation."""
+        orientation.  Label-compatible pairs only: an incompatible pair
+        can never hold DCS entries, so diffing it is a guaranteed no-op
+        (vertex labels are static)."""
+        glabel = self.graph.label
+        orients = [(a, b, glabel(a), glabel(b))
+                   for a, b in orientations_of(self.query, edge)]
         out: List[CandidatePair] = []
-        for qe in self.query.edges:
-            for a, b in edge_orientations(self.query, qe, edge):
-                out.append((qe.index, a, b))
+        for meta in self.query.edge_meta():
+            for a, b, la, lb in orients:
+                if la == meta.label_u and lb == meta.label_v:
+                    out.append((meta.index, a, b))
         return out
 
     def _pairs_at_child(self, dag: QueryDag, e: int,
@@ -131,9 +288,10 @@ class TCMEngine(MatchEngine):
         qe = self.query.edges[e]
         parent_label = self.query.label(dag.edge_parent[e])
         child_is_u = dag.edge_child[e] == qe.u
+        glabel = self.graph.label
         out: List[CandidatePair] = []
         for w in self.graph.neighbors(v):
-            if self.graph.label(w) != parent_label:
+            if glabel(w) != parent_label:
                 continue
             out.append((e, v, w) if child_is_u else (e, w, v))
         return out
@@ -147,9 +305,10 @@ class TCMEngine(MatchEngine):
         the whole pair is diffed against the stored DCS list at once."""
         adds: list = []
         removes: list = []
+        timestamps = self.dcs.timestamps
         for e, a, b in affected:
             valid = self._valid_timestamps(e, a, b)
-            stored = self.dcs.timestamps(e, a, b)
+            stored = timestamps(e, a, b)
             if valid == stored:
                 continue
             valid_set = set(valid)
@@ -165,11 +324,12 @@ class TCMEngine(MatchEngine):
         is on — inside the (lt, gt) window of Lemma IV.3 in both the
         query DAG and its reverse."""
         qe = self.query.edges[e]
-        if (not self.graph.has_vertex(a) or not self.graph.has_vertex(b)
-                or self.query.label(qe.u) != self.graph.label(a)
-                or self.query.label(qe.v) != self.graph.label(b)):
+        graph = self.graph
+        if (not graph.has_vertex(a) or not graph.has_vertex(b)
+                or self.query.labels[qe.u] != graph.label(a)
+                or self.query.labels[qe.v] != graph.label(b)):
             return []
-        ts = candidate_timestamps(self.query, self.graph, e, a, b)
+        ts = candidate_timestamps(self.query, graph, e, a, b)
         if not ts or not self.use_tc_filter:
             return list(ts)
         lo, hi = float("-inf"), float("inf")
@@ -193,10 +353,10 @@ class TCMEngine(MatchEngine):
         return self.dcs.size() + self.fwd.size() + self.rev.size()
 
     def _note_event(self) -> None:
-        self.stats.note_structure_size(self.structure_entries())
-        extra = self.stats.extra
-        extra["events"] = extra.get("events", 0) + 1
-        extra["dcs_edges_sum"] = (
-            extra.get("dcs_edges_sum", 0) + self.dcs.num_edges())
-        extra["dcs_vertices_sum"] = (
-            extra.get("dcs_vertices_sum", 0) + self.dcs.num_d2_vertices())
+        stats = self.stats
+        stats.note_structure_size(self.structure_entries())
+        stats.events_processed += 1
+        extra = stats.extra
+        extra["events"] += 1
+        extra["dcs_edges_sum"] += self.dcs.num_edges()
+        extra["dcs_vertices_sum"] += self.dcs.num_d2_vertices()

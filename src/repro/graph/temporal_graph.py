@@ -8,18 +8,38 @@ timestamp; an edge is therefore identified by the triple ``(u, v, t)``.
 Timestamps of parallel edges between a fixed pair of vertices arrive in
 non-decreasing order when the graph is driven by a stream, but this class
 does not assume that: insertion keeps each parallel-edge list sorted.
+
+Storage layout (the engine hot path)
+------------------------------------
+Every adjacent vertex pair is *interned* to a dense integer pair id; the
+parallel-edge timestamps of pair ``p`` live in ``_ts[p]``, a sorted
+``array('q')`` row.  The adjacency dicts (``_adj[u][v] -> pair id``) are
+thin index wrappers over those flat rows — a CSR-style split of the
+structure (row index) from the payload (timestamp arrays) that keeps the
+dict API of the original implementation intact.  For undirected graphs
+both ``_adj[u][v]`` and ``_adj[v][u]`` point at the *same* row, so a
+parallel edge costs one sorted insertion instead of two.  A pair whose
+row empties is unlinked from the adjacency index but keeps its id, so a
+recurring pair (the common case under a sliding window) reuses its row.
 """
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_left, insort
-from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Tuple
+
+#: Shared empty timestamp row returned for absent pairs (do not mutate).
+_EMPTY_TS = array("q")
 
 
-@dataclass(frozen=True, order=True)
-class Edge:
+class Edge(NamedTuple):
     """An edge of a temporal graph: endpoints plus timestamp.
+
+    A ``NamedTuple`` rather than a dataclass: edges are hashed and
+    compared on every adjacency probe and backtracking step, and tuple
+    hashing/comparison is implemented in C (the frozen-dataclass
+    equivalents dispatch through generated Python methods).
 
     For undirected graphs, construct edges with :meth:`make`, which
     normalizes the endpoint order (``u <= v``) so the same physical edge
@@ -66,8 +86,9 @@ class TemporalGraph:
     sliding-window semantics of the streaming problem: when all edges of a
     vertex expire the vertex effectively leaves the window.
 
-    The adjacency structure is ``_adj[v][w] -> sorted list of timestamps``,
-    which supports the operations the matching algorithms need:
+    The adjacency index is ``_adj[v][w] -> pair id`` into the flat
+    timestamp rows (see the module docstring), which supports the
+    operations the matching algorithms need:
 
     * chronological enumeration of the parallel edges between two vertices,
     * O(log k) insertion/removal of a parallel edge (k = multiplicity),
@@ -92,92 +113,142 @@ class TemporalGraph:
         self._labels = dict(labels) if labels is not None else None
         self._label_fn = label_fn
         self.directed = directed
-        self._adj: Dict[int, Dict[int, List[int]]] = {}
-        self._radj: Dict[int, Dict[int, List[int]]] = {}
+        self._pair_ids: Dict[Tuple[int, int], int] = {}
+        self._ts: List[array] = []
+        self._adj: Dict[int, Dict[int, int]] = {}
+        self._radj: Dict[int, Dict[int, int]] = {}
         self._edge_labels: Dict[Edge, object] = {}
-        # Per-(pair, label) timestamp lists so label-filtered candidate
+        # Per-(pair id, label) timestamp rows so label-filtered candidate
         # enumeration needs no per-edge object construction.
-        self._labeled: Dict[Tuple[int, int], Dict[object, List[int]]] = {}
+        self._labeled: Dict[int, Dict[object, array]] = {}
         self._num_edges = 0
+        self._bind_label()
 
     # ------------------------------------------------------------------
     # Labels
     # ------------------------------------------------------------------
+    def _bind_label(self) -> None:
+        """Shadow :meth:`label` with the underlying lookup callable.
+
+        ``graph.label(v)`` is the single hottest call of the matching
+        engines (every filter and candidate step reads labels), so when
+        labeling information exists the method is replaced per-instance
+        by the raw dict getter / labeling function — one call frame
+        instead of two.
+        """
+        if self._labels is not None:
+            self.label = self._labels.__getitem__
+        elif self._label_fn is not None:
+            self.label = self._label_fn
+
     def label(self, v: int) -> object:
         """Return the label of vertex ``v``.
 
         Labels must be defined for every vertex that ever appears; a
         missing label is a usage error and raises ``KeyError``.
         """
-        if self._labels is not None:
-            return self._labels[v]
-        if self._label_fn is not None:
-            return self._label_fn(v)
         raise KeyError(f"no labeling information for vertex {v}")
 
     def set_label(self, v: int, label: object) -> None:
         """Assign a label to vertex ``v`` (dict-backed graphs only)."""
         if self._labels is None:
-            self._labels = {}
             if self._label_fn is not None:
                 raise ValueError("cannot set labels on a label_fn graph")
+            self._labels = {}
         self._labels[v] = label
+        self._bind_label()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("label", None)  # bound builtin; rebuilt on unpickle
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._bind_label()
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def insert_edge(self, edge: Edge, label: object = None) -> None:
-        """Insert ``edge``; parallel duplicates (same u, v, t) are
-        rejected.  ``label`` optionally attaches an edge label."""
+    def _pair_id(self, u: int, v: int) -> int:
+        """Intern the (ordered) pair ``(u, v)``, allocating a row."""
+        pid = self._pair_ids.get((u, v))
+        if pid is None:
+            pid = len(self._ts)
+            self._pair_ids[(u, v)] = pid
+            self._ts.append(array("q"))
+        return pid
+
+    def insert_edge(self, edge: Edge, label: object = None) -> bool:
+        """Insert ``edge``; returns True if inserted, False if the exact
+        ``(u, v, t)`` triple is already present (insertion is idempotent:
+        a duplicate is a no-op, never a double-counted parallel edge).
+        ``label`` optionally attaches an edge label."""
         u, v, t = edge.u, edge.v, edge.t
         if not self.directed and u > v:
             raise ValueError(
                 f"undirected edges must be normalized (Edge.make): {edge}")
-        slot_uv = self._adj.setdefault(u, {}).setdefault(v, [])
-        idx = bisect_left(slot_uv, t)
-        if idx < len(slot_uv) and slot_uv[idx] == t:
-            raise ValueError(f"duplicate edge {edge}")
-        slot_uv.insert(idx, t)
-        mirror = self._radj if self.directed else self._adj
-        if self.directed or u != v:
-            insort(mirror.setdefault(v, {}).setdefault(u, []), t)
+        pid = self._pair_id(u, v)
+        slot = self._ts[pid]
+        idx = bisect_left(slot, t)
+        if idx < len(slot) and slot[idx] == t:
+            return False
+        slot.insert(idx, t)
+        self._adj.setdefault(u, {})[v] = pid
+        if self.directed:
+            self._radj.setdefault(v, {})[u] = pid
+        elif u != v:
+            self._adj.setdefault(v, {})[u] = pid
         if label is not None:
             self._edge_labels[edge] = label
-            insort(self._labeled.setdefault((u, v), {})
-                   .setdefault(label, []), t)
+            insort(self._labeled.setdefault(pid, {})
+                   .setdefault(label, array("q")), t)
         self._num_edges += 1
+        return True
 
     def remove_edge(self, edge: Edge) -> None:
         """Remove ``edge``; raises ``KeyError`` if absent."""
-        u, v, t = edge.u, edge.v, edge.t
-        self._remove_half(self._adj, u, v, t)
-        mirror = self._radj if self.directed else self._adj
-        if self.directed or u != v:
-            self._remove_half(mirror, v, u, t)
-        label = self._edge_labels.pop(edge, None)
-        if label is not None:
-            slot = self._labeled[(u, v)][label]
-            slot.pop(bisect_left(slot, t))
-            if not slot:
-                del self._labeled[(u, v)][label]
-                if not self._labeled[(u, v)]:
-                    del self._labeled[(u, v)]
-        self._num_edges -= 1
+        if not self.discard_edge(edge):
+            raise KeyError(f"edge ({edge.u},{edge.v},{edge.t}) not in graph")
 
-    @staticmethod
-    def _remove_half(adj, a: int, b: int, t: int) -> None:
-        try:
-            slot = adj[a][b]
-        except KeyError:
-            raise KeyError(f"edge ({a},{b},{t}) not in graph") from None
+    def discard_edge(self, edge: Edge) -> bool:
+        """Remove ``edge`` if present; returns whether it was."""
+        u, v, t = edge.u, edge.v, edge.t
+        pid = self._pair_ids.get((u, v))
+        if pid is None:
+            return False
+        slot = self._ts[pid]
         idx = bisect_left(slot, t)
         if idx >= len(slot) or slot[idx] != t:
-            raise KeyError(f"edge ({a},{b},{t}) not in graph")
+            return False
         slot.pop(idx)
         if not slot:
-            del adj[a][b]
-            if not adj[a]:
-                del adj[a]
+            self._unlink(u, v)
+        label = self._edge_labels.pop(edge, None)
+        if label is not None:
+            by_label = self._labeled[pid]
+            lslot = by_label[label]
+            lslot.pop(bisect_left(lslot, t))
+            if not lslot:
+                del by_label[label]
+                if not by_label:
+                    del self._labeled[pid]
+        self._num_edges -= 1
+        return True
+
+    def _unlink(self, u: int, v: int) -> None:
+        """Drop the adjacency index entries of an emptied pair row (the
+        interned id and its row are kept for reuse)."""
+        nbrs = self._adj[u]
+        del nbrs[v]
+        if not nbrs:
+            del self._adj[u]
+        mirror = self._radj if self.directed else self._adj
+        if self.directed or u != v:
+            nbrs = mirror[v]
+            del nbrs[u]
+            if not nbrs:
+                del mirror[v]
 
     # ------------------------------------------------------------------
     # Queries
@@ -188,7 +259,7 @@ class TemporalGraph:
 
     def has_edge(self, edge: Edge) -> bool:
         """True if the exact edge (endpoints and timestamp) is present."""
-        slot = self._adj.get(edge.u, {}).get(edge.v)
+        slot = self.timestamps_between(edge.u, edge.v)
         if not slot:
             return False
         idx = bisect_left(slot, edge.t)
@@ -213,9 +284,11 @@ class TemporalGraph:
     def degree(self, v: int) -> int:
         """Number of incident edges of ``v`` counting multiplicity
         (out- plus in-degree for directed graphs)."""
-        total = sum(len(ts) for ts in self._adj.get(v, {}).values())
+        ts = self._ts
+        total = sum(len(ts[pid]) for pid in self._adj.get(v, {}).values())
         if self.directed:
-            total += sum(len(ts) for ts in self._radj.get(v, {}).values())
+            total += sum(len(ts[pid])
+                         for pid in self._radj.get(v, {}).values())
         return total
 
     def neighbor_count(self, v: int) -> int:
@@ -247,50 +320,62 @@ class TemporalGraph:
             return self._adj.get(v, {}).keys()
         return self._radj.get(v, {}).keys()
 
-    def neighbor_items(self, v: int) -> Iterable[Tuple[int, List[int]]]:
+    def neighbor_items(self, v: int) -> Iterable[Tuple[int, array]]:
         """Iterate ``(out-neighbor, sorted timestamps)`` pairs for ``v``.
 
-        The timestamp lists are internal state: callers must not mutate
+        The timestamp rows are internal state: callers must not mutate
         them.
         """
-        return self._adj.get(v, {}).items()
+        ts = self._ts
+        return ((w, ts[pid]) for w, pid in self._adj.get(v, {}).items())
 
     def edge_label(self, edge: Edge) -> object:
         """The label attached to ``edge`` at insertion, or None."""
         return self._edge_labels.get(edge)
 
     def timestamps_with_label(self, u: int, v: int,
-                              label: object) -> List[int]:
+                              label: object) -> array:
         """Sorted timestamps of the ``u``-``v`` parallel edges carrying
-        ``label`` (direction-sensitive when directed).  Internal list;
+        ``label`` (direction-sensitive when directed).  Internal row;
         do not mutate."""
         if not self.directed and u > v:
             u, v = v, u
-        return self._labeled.get((u, v), {}).get(label, [])
+        pid = self._pair_ids.get((u, v))
+        if pid is None:
+            return _EMPTY_TS
+        return self._labeled.get(pid, {}).get(label, _EMPTY_TS)
 
-    def timestamps_between(self, u: int, v: int) -> List[int]:
+    def timestamps_between(self, u: int, v: int) -> array:
         """Sorted timestamps of the parallel edges between ``u`` and ``v``
         (direction-sensitive ``u -> v`` when the graph is directed).
 
-        Returns the internal list (callers must not mutate it); an empty
-        list if the vertices are not adjacent.
+        Returns the internal flat row (callers must not mutate it); an
+        empty row if the vertices are not adjacent.
         """
-        return self._adj.get(u, {}).get(v, [])
+        nbrs = self._adj.get(u)
+        if nbrs is None:
+            return _EMPTY_TS
+        pid = nbrs.get(v)
+        if pid is None:
+            return _EMPTY_TS
+        return self._ts[pid]
 
     def edges_between(self, u: int, v: int) -> List[Edge]:
         """All parallel edges between ``u`` and ``v`` in chronological
         order (``u -> v`` only when directed)."""
         if self.directed:
-            return [Edge.make_directed(u, v, t)
-                    for t in self.timestamps_between(u, v)]
-        return [Edge.make(u, v, t) for t in self.timestamps_between(u, v)]
+            return [Edge(u, v, t) for t in self.timestamps_between(u, v)]
+        if u > v:
+            u, v = v, u
+        return [Edge(u, v, t) for t in self.timestamps_between(u, v)]
 
     def edges(self) -> Iterator[Edge]:
         """Iterate over all edges (each edge exactly once)."""
+        ts = self._ts
         for u, nbrs in self._adj.items():
-            for v, ts in nbrs.items():
+            for v, pid in nbrs.items():
                 if self.directed or u <= v:
-                    for t in ts:
+                    for t in ts[pid]:
                         yield Edge(u, v, t)
 
     def count_between_after(self, u: int, v: int, t: int) -> int:

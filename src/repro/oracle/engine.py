@@ -30,15 +30,20 @@ class OracleEngine(MatchEngine):
                                    directed=query.directed)
 
     def on_edge_insert(self, edge: Edge) -> List[Match]:
-        self.graph.insert_edge(edge, label=self._edge_label(edge))
+        if not self.graph.insert_edge(edge, label=self._edge_label(edge)):
+            return []  # duplicate (u, v, t): idempotent no-op
         matches = sorted(
             enumerate_embeddings(self.query, self.graph, must_contain=edge))
         self.stats.matches_emitted += len(matches)
+        self.stats.events_processed += 1
         return matches
 
     def on_edge_expire(self, edge: Edge) -> List[Match]:
+        if not self.graph.has_edge(edge):
+            return []  # expiration of a deduplicated arrival: no-op
         matches = sorted(
             enumerate_embeddings(self.query, self.graph, must_contain=edge))
         self.graph.remove_edge(edge)
         self.stats.matches_emitted += len(matches)
+        self.stats.events_processed += 1
         return matches

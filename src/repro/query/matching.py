@@ -50,22 +50,34 @@ def candidate_timestamps(query: TemporalQuery, graph: TemporalGraph,
 def candidate_images(query: TemporalQuery, graph: TemporalGraph,
                      e: int, a: int, b: int) -> List[Edge]:
     """Like :func:`candidate_timestamps` but returning Edge objects."""
-    return [make_image(query, a, b, t)
-            for t in candidate_timestamps(query, graph, e, a, b)]
+    ts = candidate_timestamps(query, graph, e, a, b)
+    if not ts:
+        return []
+    if not query.directed and a > b:
+        a, b = b, a
+    return [Edge(a, b, t) for t in ts]
+
+
+def orientations_of(query: TemporalQuery, edge: Edge):
+    """The ``(a, b)`` endpoint assignments under which ``edge`` could be
+    the image of *any* query edge (``qe.u -> a``, ``qe.v -> b``).
+
+    Undirected: both endpoint orders.  Directed: only the source->source
+    alignment.  Vertex/edge labels are not checked here.  The result
+    does not depend on which query edge is considered, so engines
+    compute it once per stream event and reuse it across the whole
+    query-edge loop.
+    """
+    if query.directed or edge.u == edge.v:
+        return ((edge.u, edge.v),)
+    return ((edge.u, edge.v), (edge.v, edge.u))
 
 
 def edge_orientations(query: TemporalQuery, qe: QueryEdge, edge: Edge):
-    """The ``(a, b)`` assignments (``qe.u -> a``, ``qe.v -> b``) under
-    which ``edge`` could be the image of ``qe``.
-
-    Undirected: both endpoint orders.  Directed: only the source->source
-    alignment.  Vertex/edge labels are not checked here.
-    """
-    if query.directed:
-        return ((edge.u, edge.v),)
-    if edge.u == edge.v:
-        return ((edge.u, edge.v),)
-    return ((edge.u, edge.v), (edge.v, edge.u))
+    """Per-query-edge spelling of :func:`orientations_of` (the
+    orientation set is the same for every query edge; this wrapper keeps
+    the historical signature for callers holding a specific ``qe``)."""
+    return orientations_of(query, edge)
 
 
 def image_compatible(query: TemporalQuery, graph: TemporalGraph,

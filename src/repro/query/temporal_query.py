@@ -9,7 +9,9 @@ can use array-backed state.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Dict, FrozenSet, Iterable, List, NamedTuple, Optional, Sequence, Tuple,
+)
 
 from repro.query.partial_order import PartialOrder
 
@@ -33,6 +35,25 @@ class QueryEdge:
     def endpoints(self) -> Tuple[int, int]:
         """Return the two endpoints as a tuple."""
         return (self.u, self.v)
+
+
+class EdgeMeta(NamedTuple):
+    """Per-query-edge lookups memoized for the event hot path.
+
+    Candidate generation consults, for every stream event and every
+    query edge, the edge's endpoint labels and its own label; resolving
+    them through ``query.label()`` per event is pure overhead since they
+    never change.  :meth:`TemporalQuery.edge_meta` computes this table
+    once per query.
+    """
+
+    edge: QueryEdge
+    index: int
+    u: int
+    v: int
+    label_u: object
+    label_v: object
+    edge_label: object
 
 
 class TemporalQuery:
@@ -92,8 +113,20 @@ class TemporalQuery:
         for edge in self.edges:
             self._adjacent[edge.u].append(edge)
             self._adjacent[edge.v].append(edge)
+        self._neighbor_tuples: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(e.other(u) for e in self._adjacent[u])
+            for u in range(self.num_vertices))
+        # incident_meta(u): per incident edge, (edge index, opposite
+        # vertex, u is the canonical endpoint qe.u) — the candidate
+        # loops of every engine walk this per backtracking node.
+        self._incident_meta: Tuple[Tuple[Tuple[int, int, bool], ...], ...] = \
+            tuple(tuple((e.index, e.other(u), e.u == u)
+                        for e in self._adjacent[u])
+                  for u in range(self.num_vertices))
         self._edge_by_pair: Dict[Tuple[int, int], QueryEdge] = {
             (e.u, e.v): e for e in self.edges}
+        self._edge_meta: Optional[Tuple[EdgeMeta, ...]] = None
+        self._relevant_label_pairs: Optional[FrozenSet] = None
         self._check_connected()
 
     # ------------------------------------------------------------------
@@ -111,9 +144,15 @@ class TemporalQuery:
         """Degree of vertex ``u``."""
         return len(self._adjacent[u])
 
-    def neighbors(self, u: int) -> List[int]:
-        """Distinct neighbor vertices of ``u``."""
-        return [e.other(u) for e in self._adjacent[u]]
+    def neighbors(self, u: int) -> Tuple[int, ...]:
+        """Neighbor vertices of ``u`` (memoized tuple)."""
+        return self._neighbor_tuples[u]
+
+    def incident_meta(self, u: int) -> Tuple[Tuple[int, int, bool], ...]:
+        """Memoized ``(edge index, opposite vertex, u == qe.u)`` rows
+        for the edges incident to ``u`` (hot-path companion to
+        :meth:`incident_edges`)."""
+        return self._incident_meta[u]
 
     def edge_between(self, u: int, v: int) -> Optional[QueryEdge]:
         """The edge joining ``u`` and ``v``, or None.  For directed
@@ -125,6 +164,42 @@ class TemporalQuery:
     def edge_label(self, e: int) -> object:
         """The label of query edge ``e`` (None = unlabeled)."""
         return self.edge_labels[e]
+
+    def relevant_label_pairs(self) -> FrozenSet:
+        """Memoized endpoint-label pairs some query edge can match.
+
+        A data edge whose ``(label(u), label(v))`` is not in this set
+        can never be the image of any query edge — the engines use it
+        to skip filter maintenance and backtracking for such events.
+        Undirected queries admit both endpoint orders.
+        """
+        pairs = self._relevant_label_pairs
+        if pairs is None:
+            out = set()
+            for meta in self.edge_meta():
+                out.add((meta.label_u, meta.label_v))
+                if not self.directed:
+                    out.add((meta.label_v, meta.label_u))
+            pairs = self._relevant_label_pairs = frozenset(out)
+        return pairs
+
+    def edge_meta(self) -> Tuple[EdgeMeta, ...]:
+        """Memoized per-edge (endpoint labels, edge label) table.
+
+        Engines iterate this instead of re-resolving labels through
+        :meth:`label`/:meth:`edge_label` on every stream event; the
+        table is built lazily on first use and cached for the lifetime
+        of the query (queries are immutable after construction).
+        """
+        meta = self._edge_meta
+        if meta is None:
+            meta = tuple(
+                EdgeMeta(qe, qe.index, qe.u, qe.v,
+                         self.labels[qe.u], self.labels[qe.v],
+                         self.edge_labels[qe.index])
+                for qe in self.edges)
+            self._edge_meta = meta
+        return meta
 
     # ------------------------------------------------------------------
     # Temporal-order helpers

@@ -81,6 +81,19 @@ class MatchNotification:
         return self.event.is_arrival
 
 
+def _run_batch(engine, events: List[Event]) -> List[List[Match]]:
+    """Feed ``events`` to ``engine`` in one batch.
+
+    Duck-typed engines written against the per-event interface (custom
+    factories without ``on_batch``) get the equivalent per-event loop.
+    """
+    on_batch = getattr(engine, "on_batch", None)
+    if on_batch is not None:
+        return on_batch(events)
+    return [engine.on_edge_insert(ev.edge) if ev.is_arrival
+            else engine.on_edge_expire(ev.edge) for ev in events]
+
+
 class MatchService:
     """Hosts N continuous queries over one shared windowed edge stream.
 
@@ -194,6 +207,138 @@ class MatchService:
             self.stats.batches += 1
             self.stats.elapsed_seconds += time.perf_counter() - start
         return notifications
+
+    def process_batch(self, edges: Iterable[Edge]
+                      ) -> List[MatchNotification]:
+        """Batched ingestion: like :meth:`ingest`, but each engine sees
+        the batch's whole event list through one
+        :meth:`~repro.streaming.engine.MatchEngine.on_batch` call.
+
+        Notifications are identical to :meth:`ingest` — same events,
+        same matches, same order (event order, registry order within an
+        event) — but delivery is *batch-granular*: engines run first,
+        then results are recorded and subscribers fire in event order.
+        A query registered from inside a subscriber callback therefore
+        joins at the batch boundary (first sees the next batch), where
+        :meth:`ingest` applies it mid-fan-out — the same batch-boundary
+        semantics the sharded service documents.  A failing engine
+        quarantines its query and contributes nothing for the batch.
+        """
+        edges = list(edges)
+        notifications: List[MatchNotification] = []
+        start = time.perf_counter()
+        try:
+            prefix, failure = self._validated_prefix(edges)
+            events: List[Tuple[Event, int]] = []
+            for edge in prefix:
+                self._collect_expirations(edge.t, events)
+                self._now = edge.t
+                seq = self._seq
+                self._seq += 1
+                events.append((Event(edge, edge.t, EventKind.ARRIVAL), seq))
+                self._live.append((edge, seq))
+                self.stats.edges_ingested += 1
+            if events:
+                self._fanout_batch(events, notifications)
+        finally:
+            self.stats.batches += 1
+            self.stats.elapsed_seconds += time.perf_counter() - start
+        if failure is not None:
+            raise OutOfOrderError(failure, notifications)
+        return notifications
+
+    def _validated_prefix(self, edges: List[Edge]):
+        """Split a batch at the first out-of-order edge (if any)."""
+        now = self._now
+        for index, edge in enumerate(edges):
+            if now is not None and edge.t < now:
+                return edges[:index], (
+                    f"out-of-order arrival: t={edge.t} after now={now}")
+            now = edge.t
+        return edges, None
+
+    def _collect_expirations(self, t: int,
+                             out: List[Tuple[Event, int]]) -> None:
+        """Pop live edges whose window closes at or before ``t`` and
+        append their expiration events (see :meth:`_expire_until`)."""
+        delta = self.delta
+        live = self._live
+        while live and live[0][0].t + delta <= t:
+            edge, seq = live.popleft()
+            out.append((Event(edge, edge.t + delta, EventKind.EXPIRATION),
+                        seq))
+
+    def _fanout_batch(self, events: List[Tuple[Event, int]],
+                      out: List[MatchNotification]) -> None:
+        """Run every eligible engine over the batch, then route the
+        per-event results in global event order."""
+        registry = self.registry
+        entries = [entry for entry in registry.entries() if entry.active]
+        per_entry: Dict[str, Dict[int, List[Match]]] = {}
+        for entry in entries:
+            joined = entry.joined_seq
+            eligible = [(ev, seq) for ev, seq in events if seq >= joined]
+            if not eligible:
+                continue
+            self.stats.events_routed += len(eligible)
+            stats = entry.stats
+            began = time.perf_counter()
+            try:
+                lists = _run_batch(entry.engine, [ev for ev, _ in eligible])
+                stats.events_processed += len(eligible)
+                stats.batches_processed += 1
+                stats.note_structure_size(
+                    entry.engine.stats.peak_structure_entries)
+                # (seq, kind) uniquely keys an event: every arrival gets
+                # its own seq, and an expiration reuses its arrival's.
+                per_entry[entry.query_id] = {
+                    (seq, ev.kind): matches
+                    for (ev, seq), matches in zip(eligible, lists)}
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                entry.mark_errored(exc)
+                self.stats.errored_queries += 1
+            finally:
+                stats.elapsed_seconds += time.perf_counter() - began
+        # Route in global event order, registry order within an event —
+        # exactly the order the per-event path emits.
+        for ev, seq in events:
+            arrival = ev.is_arrival
+            key = (seq, ev.kind)
+            for entry in entries:
+                by_event = per_entry.get(entry.query_id)
+                if (by_event is None or not entry.active
+                        or entry.query_id not in registry):
+                    continue
+                matches = by_event.get(key)
+                if not matches:
+                    continue
+                stats = entry.stats
+                if arrival:
+                    stats.occurred += len(matches)
+                else:
+                    stats.expired += len(matches)
+                began = time.perf_counter()
+                try:
+                    for match in matches:
+                        notification = MatchNotification(
+                            entry.query_id, ev, match, seq)
+                        if entry.result is not None:
+                            if arrival:
+                                entry.result.occurred.append((ev, match))
+                            else:
+                                entry.result.expired.append((ev, match))
+                        for callback in entry.subscribers:
+                            callback(notification)
+                        out.append(notification)
+                except Exception as exc:  # noqa: BLE001 - isolation
+                    entry.mark_errored(exc)
+                    self.stats.errored_queries += 1
+                finally:
+                    stats.elapsed_seconds += time.perf_counter() - began
+        for entry in entries:
+            if entry.result is not None and entry.query_id in per_entry:
+                entry.result.events_processed += len(per_entry[
+                    entry.query_id])
 
     def advance_to(self, t: int) -> List[MatchNotification]:
         """Advance the clock to ``t`` without ingesting edges, expiring

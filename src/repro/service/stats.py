@@ -25,6 +25,7 @@ class QueryStats:
     query_id: str = ""
     engine: str = ""
     events_processed: int = 0
+    batches_processed: int = 0
     occurred: int = 0
     expired: int = 0
     errors: int = 0

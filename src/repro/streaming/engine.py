@@ -1,19 +1,29 @@
 """The engine interface shared by TCM and all baselines.
 
-Every matching engine processes one edge event at a time and reports the
-*delta* of time-constrained embeddings: embeddings that occur on an arrival
-and embeddings that expire on an expiration.  Engines own their copy of the
-within-window data graph; the driver only feeds events.
+Every matching engine processes edge events — one at a time through
+:meth:`MatchEngine.on_edge_insert` / :meth:`MatchEngine.on_edge_expire`,
+or a chronological batch at a time through :meth:`MatchEngine.on_batch`
+— and reports the *delta* of time-constrained embeddings: embeddings
+that occur on an arrival and embeddings that expire on an expiration.
+Engines own their copy of the within-window data graph; the driver only
+feeds events.
+
+Per-event match lists are returned in canonical (sorted) order, so the
+two ingestion paths are byte-identical: ``on_batch`` must produce, for
+every event, exactly the list the per-event methods would have produced.
+The default ``on_batch`` is the trivial loop; TCM and SymBi override it
+to defer and dedupe their filter maintenance across the batch.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.graph.temporal_graph import Edge
 from repro.query.temporal_query import TemporalQuery
+from repro.streaming.events import Event
 from repro.streaming.match import Match
 
 
@@ -23,13 +33,17 @@ class EngineStats:
 
     ``backtrack_nodes`` counts search-tree node expansions; the structure
     sizes feed the memory comparison (Figure 10) and the filtering-power
-    table (Table V).
+    table (Table V).  ``events_processed`` / ``batches_processed`` track
+    how much stream the engine has absorbed and through which ingestion
+    path (a per-event call counts as an event with no batch).
     """
 
     matches_emitted: int = 0
     backtrack_nodes: int = 0
     candidates_pruned: int = 0
     peak_structure_entries: int = 0
+    events_processed: int = 0
+    batches_processed: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
 
     def note_structure_size(self, entries: int) -> None:
@@ -43,7 +57,11 @@ class MatchEngine(abc.ABC):
 
     Subclasses implement :meth:`on_edge_insert` and :meth:`on_edge_expire`;
     both return the list of time-constrained embeddings that occur/expire
-    because of the event (every returned match contains the event edge).
+    because of the event (every returned match contains the event edge),
+    in canonical sorted order.  :meth:`on_batch` processes a chronological
+    event batch and returns the per-event match lists aligned with the
+    input; its output must be byte-identical to feeding the events one at
+    a time.
     """
 
     name = "abstract"
@@ -68,6 +86,24 @@ class MatchEngine(abc.ABC):
     @abc.abstractmethod
     def on_edge_expire(self, edge: Edge) -> List[Match]:
         """Process an expiring edge; return embeddings that expire with it."""
+
+    def on_batch(self, events: Sequence[Event]) -> List[List[Match]]:
+        """Process a chronological event batch; return one match list per
+        event, aligned with ``events``.
+
+        The default implementation is the per-event loop, correct for
+        every engine.  Engines whose per-event cost is dominated by
+        incremental index maintenance (TCM, SymBi) override this to
+        batch that maintenance while keeping the output identical.
+        """
+        out: List[List[Match]] = []
+        for event in events:
+            if event.is_arrival:
+                out.append(self.on_edge_insert(event.edge))
+            else:
+                out.append(self.on_edge_expire(event.edge))
+        self.stats.batches_processed += 1
+        return out
 
     def structure_entries(self) -> int:
         """Current number of stored index-structure entries (memory proxy)."""

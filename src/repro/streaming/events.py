@@ -12,8 +12,7 @@ arrival at ``t`` is matched.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Iterable, List
+from typing import Iterable, List, NamedTuple
 
 from repro.graph.temporal_graph import Edge
 
@@ -25,9 +24,13 @@ class EventKind(enum.Enum):
     EXPIRATION = "-"
 
 
-@dataclass(frozen=True)
-class Event:
-    """A single stream event: an edge arriving or expiring at ``time``."""
+class Event(NamedTuple):
+    """A single stream event: an edge arriving or expiring at ``time``.
+
+    A ``NamedTuple``: events are created, compared, and routed once per
+    stream edge per hosted query, and tuple construction/compare beats
+    the dataclass equivalents on that path.
+    """
 
     edge: Edge
     time: int

@@ -108,6 +108,22 @@ class TestEquivalence:
         assert retired.stats.occurred == expected_retired.stats.occurred
         assert retired.stats.expired == expected_retired.stats.expired
 
+    def test_batched_and_per_event_wire_paths_identical(self, workload,
+                                                        single_outcome):
+        """The coordinator defaults to the workers' on_batch fast path
+        (``batched=True``, exercised by every other test here);
+        ``batched=False`` keeps the per-event dispatch.  Both must emit
+        the in-process service's notification stream byte-for-byte."""
+        stream, instances = workload
+        expected_notes, expected_stats, _ = single_outcome
+        for batched in (True, False):
+            with ShardedMatchService(DELTA, workers=2,
+                                     batched=batched) as service:
+                notes, stats, _ = drive_scenario(service, stream,
+                                                 instances)
+            assert notes == expected_notes, f"batched={batched}"
+            assert stats == expected_stats, f"batched={batched}"
+
     def test_service_counters_match_single(self, workload,
                                            single_outcome):
         stream, instances = workload

@@ -53,8 +53,8 @@ class TestDirectedSemantics:
         graph.insert_edge(Edge.make_directed(1, 2, 5))
         graph.insert_edge(Edge.make_directed(2, 1, 5))
         assert graph.num_edges() == 2
-        assert graph.timestamps_between(1, 2) == [5]
-        assert graph.timestamps_between(2, 1) == [5]
+        assert list(graph.timestamps_between(1, 2)) == [5]
+        assert list(graph.timestamps_between(2, 1)) == [5]
 
     def test_antiparallel_query_edges_allowed(self):
         q = TemporalQuery(["A", "A"], [(0, 1), (1, 0)], directed=True)

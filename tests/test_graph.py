@@ -40,22 +40,40 @@ class TestTemporalGraph:
         g = make_graph()
         for t in (9, 3, 7):
             g.insert_edge(Edge.make(1, 2, t))
-        assert g.timestamps_between(1, 2) == [3, 7, 9]
-        assert g.timestamps_between(2, 1) == [3, 7, 9]
+        assert list(g.timestamps_between(1, 2)) == [3, 7, 9]
+        assert list(g.timestamps_between(2, 1)) == [3, 7, 9]
         assert [e.t for e in g.edges_between(1, 2)] == [3, 7, 9]
 
-    def test_duplicate_rejected(self):
+    def test_duplicate_insert_is_idempotent(self):
+        """Regression: re-inserting the same (u, v, t) triple must be a
+        no-op — not a double-counted parallel candidate, not an error."""
         g = make_graph()
-        g.insert_edge(Edge.make(1, 2, 5))
-        with pytest.raises(ValueError):
-            g.insert_edge(Edge.make(2, 1, 5))
+        assert g.insert_edge(Edge.make(1, 2, 5)) is True
+        assert g.insert_edge(Edge.make(2, 1, 5)) is False
+        assert g.num_edges() == 1
+        assert list(g.timestamps_between(1, 2)) == [5]
+        assert g.degree(1) == 1
+        g.remove_edge(Edge.make(1, 2, 5))
+        assert g.num_edges() == 0
+        with pytest.raises(KeyError):
+            g.remove_edge(Edge.make(1, 2, 5))
+
+    def test_duplicate_insert_idempotent_directed_and_labeled(self):
+        g = TemporalGraph(labels={1: "A", 2: "B"}, directed=True)
+        assert g.insert_edge(Edge.make_directed(1, 2, 5), label="x") is True
+        assert g.insert_edge(Edge.make_directed(1, 2, 5), label="x") is False
+        assert g.num_edges() == 1
+        assert list(g.timestamps_with_label(1, 2, "x")) == [5]
+        # The anti-parallel edge is a different directed edge, not a dup.
+        assert g.insert_edge(Edge.make_directed(2, 1, 5)) is True
+        assert g.num_edges() == 2
 
     def test_remove_edge(self):
         g = make_graph()
         g.insert_edge(Edge.make(1, 2, 5))
         g.insert_edge(Edge.make(1, 2, 6))
         g.remove_edge(Edge.make(1, 2, 5))
-        assert g.timestamps_between(1, 2) == [6]
+        assert list(g.timestamps_between(1, 2)) == [6]
         g.remove_edge(Edge.make(1, 2, 6))
         assert not g.has_vertex(1)
         assert not g.has_vertex(2)

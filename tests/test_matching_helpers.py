@@ -44,16 +44,16 @@ class TestMakeImage:
 class TestCandidateTimestamps:
     def test_unlabeled_returns_all(self, undirected):
         query, graph = undirected
-        assert candidate_timestamps(query, graph, 0, 1, 2) == [5, 7]
+        assert list(candidate_timestamps(query, graph, 0, 1, 2)) == [5, 7]
 
     def test_labeled_filters(self, directed_labeled):
         query, graph = directed_labeled
-        assert candidate_timestamps(query, graph, 0, 1, 2) == [5]
+        assert list(candidate_timestamps(query, graph, 0, 1, 2)) == [5]
 
     def test_direction_respected(self, directed_labeled):
         query, graph = directed_labeled
         # qe.u -> 2, qe.v -> 1 requires a data edge 2 -> 1 with label p.
-        assert candidate_timestamps(query, graph, 0, 2, 1) == [7]
+        assert list(candidate_timestamps(query, graph, 0, 2, 1)) == [7]
 
     def test_images_match_timestamps(self, directed_labeled):
         query, graph = directed_labeled
