@@ -14,8 +14,9 @@ from repro.bench.multi import (
     format_scaling, multi_query_scaling, run_multi_query,
 )
 from repro.bench.throughput import (
-    ThroughputConfig, compare_to_baseline, measure_multi, measure_single,
-    write_report,
+    ThroughputConfig, compare_to_baseline, format_selectivity,
+    measure_multi, measure_selectivity, measure_single,
+    selectivity_sweep, write_report,
 )
 
 __all__ = [
@@ -28,6 +29,7 @@ __all__ = [
     "MultiQueryConfig", "MultiQueryRun", "build_service",
     "format_multi_run", "format_scaling", "multi_query_scaling",
     "run_multi_query",
-    "ThroughputConfig", "compare_to_baseline", "measure_multi",
-    "measure_single", "write_report",
+    "ThroughputConfig", "compare_to_baseline", "format_selectivity",
+    "measure_multi", "measure_selectivity", "measure_single",
+    "selectivity_sweep", "write_report",
 ]

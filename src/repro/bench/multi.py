@@ -40,6 +40,11 @@ class MultiQueryConfig:
     window_fraction: float = 0.3
     seed: int = 0
     workers: int = 1
+    #: Interest-aware event routing (service index; per-shard batch
+    #: splitting when sharded).  False = broadcast fan-out.
+    routed: bool = True
+    #: Shard placement policy ("least_loaded" or "interest").
+    placement: str = "least_loaded"
 
     @property
     def delta(self) -> int:
@@ -63,6 +68,9 @@ class MultiQueryRun:
     expired: int
     errored_queries: int
     workers: int = 1
+    routed: bool = True
+    events_routed: int = 0
+    events_skipped: int = 0
     per_query: List[QueryStats] = field(default_factory=list)
 
 
@@ -107,9 +115,11 @@ def build_service(config: MultiQueryConfig, engine: str = "tcm",
               file=sys.stderr)
     if config.workers > 1:
         from repro.cluster import ShardedMatchService
-        service = ShardedMatchService(config.delta, workers=config.workers)
+        service = ShardedMatchService(
+            config.delta, workers=config.workers, routed=config.routed,
+            placement=config.placement)
     else:
-        service = MatchService(config.delta)
+        service = MatchService(config.delta, routed=config.routed)
     for instance in instances:
         service.register(instance.query, stream.labels, engine,
                          edge_label_fn=stream.edge_label_fn(),
@@ -174,6 +184,9 @@ def run_multi_query(config: Optional[MultiQueryConfig] = None,
             expired=sum(s.expired for s in per_query),
             errored_queries=service.stats.errored_queries,
             workers=config.workers,
+            routed=config.routed,
+            events_routed=service.stats.events_routed,
+            events_skipped=service.stats.events_skipped,
             per_query=per_query,
         )
     finally:
@@ -213,20 +226,24 @@ def multi_query_scaling(engines: Sequence[str],
 def format_multi_run(run: MultiQueryRun) -> str:
     """Render one run as the service summary table the CLI prints."""
     workers = f" workers={run.workers}" if run.workers > 1 else ""
+    mode = "" if run.routed else " broadcast"
     lines = [
         f"service run: dataset={run.dataset} engine={run.engine} "
-        f"queries={run.num_queries} batch={run.batch_size}{workers}",
+        f"queries={run.num_queries} batch={run.batch_size}{workers}{mode}",
         f"  {run.edges_ingested} edges in {run.batches} batches, "
         f"{run.elapsed_seconds * 1000.0:.1f} ms "
         f"({run.throughput_eps:.0f} edges/s), "
         f"{run.occurred} occurrences / {run.expired} expirations, "
+        f"{run.events_routed} events routed / "
+        f"{run.events_skipped} skipped, "
         f"{run.errored_queries} errored",
-        f"  {'query':<8}{'engine':<12}{'events':>8}{'batches':>8}"
-        f"{'occ':>7}{'exp':>7}{'ms':>9}{'peak':>7}",
+        f"  {'query':<8}{'engine':<12}{'events':>8}{'skip':>8}"
+        f"{'batches':>8}{'occ':>7}{'exp':>7}{'ms':>9}{'peak':>7}",
     ]
     for s in run.per_query:
         lines.append(
             f"  {s.query_id:<8}{s.engine:<12}{s.events_processed:>8}"
+            f"{s.events_skipped:>8}"
             f"{s.batches_processed:>8}{s.occurred:>7}{s.expired:>7}"
             f"{s.elapsed_seconds * 1000.0:>9.1f}"
             f"{s.peak_structure_entries:>7}")

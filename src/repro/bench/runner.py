@@ -22,13 +22,13 @@ from repro.streaming.engine import MatchEngine
 #: Engine registry: name -> factory(query, labels).  The two TCM
 #: variants implement the paper's ablation (Section VI-B).
 ENGINE_FACTORIES: Dict[str, Callable[..., MatchEngine]] = {
-    "tcm": lambda q, l, elf=None: TCMEngine(q, l, edge_label_fn=elf),
-    "tcm-pruning": lambda q, l, elf=None: TCMEngine(
-        q, l, use_pruning=False, edge_label_fn=elf),
-    "symbi": lambda q, l, elf=None: SymBiEngine(q, l, edge_label_fn=elf),
-    "rapidflow": lambda q, l, elf=None: RapidFlowEngine(
-        q, l, edge_label_fn=elf),
-    "timing": lambda q, l, elf=None: TimingEngine(q, l, edge_label_fn=elf),
+    "tcm": lambda q, lb, elf=None: TCMEngine(q, lb, edge_label_fn=elf),
+    "tcm-pruning": lambda q, lb, elf=None: TCMEngine(
+        q, lb, use_pruning=False, edge_label_fn=elf),
+    "symbi": lambda q, lb, elf=None: SymBiEngine(q, lb, edge_label_fn=elf),
+    "rapidflow": lambda q, lb, elf=None: RapidFlowEngine(
+        q, lb, edge_label_fn=elf),
+    "timing": lambda q, lb, elf=None: TimingEngine(q, lb, edge_label_fn=elf),
 }
 
 

@@ -120,6 +120,16 @@ def build_parser() -> argparse.ArgumentParser:
                          "in-process service; >1 = the sharded "
                          "multi-process service); with --scaling, "
                          "multiple values sweep the worker count")
+    pm.add_argument("--broadcast", action="store_true",
+                    help="disable interest-aware event routing: fan "
+                         "every event out to every engine (and, with "
+                         "--workers >1, every batch to every shard)")
+    pm.add_argument("--placement", default="least-loaded",
+                    choices=["least-loaded", "interest"],
+                    help="shard placement policy for --workers >1: "
+                         "spread evenly, or co-locate queries with "
+                         "overlapping label interests to shrink "
+                         "per-batch shard fan-out")
     pm.add_argument("--scaling", nargs="+", type=int, default=None,
                     metavar="N",
                     help="instead of one run, sweep these query counts "
@@ -229,6 +239,14 @@ def _run_bench(args) -> int:
               f"events/s, batched "
               f"{service['batched']['events_per_sec']:.0f} events/s "
               f"({service['batched_speedup']:.2f}x)")
+        selectivity = report["selectivity"]
+        sel_workload = selectivity["workload"]
+        sel_modes = selectivity["modes"]
+        print(f"selectivity x{sel_workload['num_queries']} "
+              f"(overlap {sel_workload['overlap']:.0%}): broadcast "
+              f"{sel_modes['broadcast']['events_per_sec']:.0f} events/s, "
+              f"routed {sel_modes['routed']['events_per_sec']:.0f} "
+              f"events/s ({selectivity['routed_speedup']:.2f}x)")
     for path in reports:
         print(f"wrote {path}")
     status = 0
@@ -298,6 +316,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             window_fraction=args.window_fraction,
             seed=args.seed,
             workers=args.workers[0],
+            routed=not args.broadcast,
+            placement=args.placement.replace("-", "_"),
         )
         try:
             if args.scaling:

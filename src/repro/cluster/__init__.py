@@ -8,10 +8,12 @@ The third layer of the matching stack:
   window in one process;
 * **cluster** (this package) — the service scaled across CPU cores:
   a :class:`ShardedMatchService` coordinator partitions registered
-  queries over persistent worker processes, broadcasts every event
-  batch, and merges per-query matches back in arrival order, with the
-  full service contract (mid-stream register/unregister, per-query
-  error isolation plus whole-worker crash quarantine, and composed
+  queries over persistent worker processes, interest-routes each event
+  batch to the shards that can match it (broadcast on request) over a
+  packed binary wire protocol (``repro.cluster.wire``), and merges
+  per-query matches back in arrival order, with the full service
+  contract (mid-stream register/unregister, per-query error isolation
+  plus whole-worker crash quarantine, and composed
   checkpoint/restore).
 
 ``repro.cluster.checkpoint`` persists/restores the sharded service

@@ -5,9 +5,24 @@ MatchService` across CPU cores — the parallelization the paper names as
 future work, applied to the *service* deployment model rather than the
 offline batch benchmarks.  N persistent worker processes each host a
 full ``MatchService`` over a shard of the registered queries; the
-coordinator broadcasts every chronological event batch to every live
-worker (one stream, one shared window — every engine must see every
-edge) and merges the per-shard results back into global event order.
+coordinator ships every chronological event batch to the workers and
+merges the per-shard results back into global event order.
+
+Shipping is *interest-routed* by default (``routed=True``): workers
+piggyback their shard's :class:`~repro.service.interest.
+InterestSummary` on register/unregister acks, and the coordinator
+splits each batch per shard — an edge travels only to the shards
+hosting a query whose label patterns could match it, a shard with
+pending expirations but no interesting arrivals gets a bare
+clock-advance frame, and a fully disinterested shard is not contacted
+at all (counted in ``events_unshipped``).  Sub-batches carry explicit
+global sequence numbers and the batch's closing cursor, which is what
+keeps the arrival-order merge exact even though workers see different
+subsets of the stream.  ``routed=False`` restores the PR-2 broadcast
+(every batch to every live worker); the merged output is byte-identical
+either way.  On the wire, ingest batches and their replies use the
+packed binary frames of :mod:`repro.cluster.wire` (``binary=False``
+falls back to pickle end to end).
 
 Consistency model
 -----------------
@@ -45,18 +60,23 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import pickle
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import (
+    Callable, Deque, Dict, Iterable, List, Optional, Tuple,
+)
 
-from repro.cluster import protocol
+from repro.cluster import protocol, wire
 from repro.cluster.placement import ShardPlacement
 from repro.cluster.protocol import (
-    QueryFinalState, RegisterSpec, Reply, make_exception,
+    QueryFinalState, RegisterSpec, Reply, RoutedBatch, make_exception,
 )
 from repro.cluster.worker import shard_worker_main
 from repro.graph.temporal_graph import Edge
 from repro.query.temporal_query import TemporalQuery
+from repro.service.interest import InterestSummary, query_pattern_keys
 from repro.service.registry import QueryStatus
 from repro.service.service import MatchNotification, OutOfOrderError
 from repro.service.stats import QueryStats, ServiceStats
@@ -139,7 +159,9 @@ class ShardedMatchService:
     """
 
     def __init__(self, delta: int, *, workers: int = 2,
-                 start_method: Optional[str] = None, batched: bool = True):
+                 start_method: Optional[str] = None, batched: bool = True,
+                 routed: bool = True, binary: bool = True,
+                 placement: str = "least_loaded"):
         if delta <= 0:
             raise ValueError("window size delta must be positive")
         if workers < 1:
@@ -150,20 +172,58 @@ class ShardedMatchService:
         #: path); False keeps the per-event dispatch.  Output is
         #: byte-identical either way.
         self.batched = batched
+        #: When True (default), ingest batches are split per shard and
+        #: shipped only to interested shards (see the module
+        #: docstring); workers additionally interest-route inside their
+        #: own service.  ``routed=False`` restores the PR-2 broadcast:
+        #: every batch to every live worker.  Output is byte-identical
+        #: either way.
+        self.routed = routed
+        #: When True (default), ingest requests and their replies use
+        #: the packed binary frames of :mod:`repro.cluster.wire`
+        #: instead of pickle; control verbs always stay pickled.
+        self.binary = binary
         self.stats = ServiceStats()
+        #: (event, shard) shipments the router elided entirely: edges
+        #: never pickled/packed for an uninterested shard.  This is the
+        #: cluster-only savings on top of ``stats.events_skipped``
+        #: (which mirrors the per-query skips workers report for the
+        #: events they did receive).
+        self.events_unshipped = 0
         self._queries: Dict[str, _QueryInfo] = {}
-        self._placement = ShardPlacement(workers)
+        self._placement = ShardPlacement(workers, policy=placement)
         self._ids = itertools.count()
         self._reg_counter = itertools.count()
         self._now: Optional[int] = None
         self._seq = 0
         self._closed = False
+        #: Interned query-id table (codes index _intern_names); synced
+        #: to owning workers via the INTERN verb before REGISTER.
+        self._intern_codes: Dict[str, int] = {}
+        self._intern_names: List[str] = []
+        #: Codes each worker has been sent (a re-registered query may
+        #: land on a shard that never saw its code).
+        self._synced_codes: List[set] = [set() for _ in range(workers)]
+        #: Latest per-shard interest summary (piggybacked on
+        #: register/unregister acks), plus a routing table derived from
+        #: it lazily: content-equal domains across shards are merged so
+        #: each edge's label triple is resolved once per *unique*
+        #: domain, not once per shard (rebuilt only when a summary or
+        #: the live-shard set changes).
+        self._shard_interest: Dict[int, InterestSummary] = {}
+        self._routing_cache: Optional[Tuple] = None
+        #: Expiry times of the edges shipped to each shard (monotone,
+        #: so a deque): a shard with no interest in a batch still needs
+        #: a clock-advance frame while expirations are due.
+        self._shard_expiries: List[Deque[int]] = [
+            deque() for _ in range(workers)]
         ctx = _pick_context(start_method)
         self._workers: List[_WorkerHandle] = []
         for index in range(workers):
             parent_conn, child_conn = ctx.Pipe()
             process = ctx.Process(
-                target=shard_worker_main, args=(child_conn, delta),
+                target=shard_worker_main,
+                args=(child_conn, delta, routed),
                 name=f"repro-shard-{index}", daemon=True)
             process.start()
             child_conn.close()
@@ -246,6 +306,9 @@ class ShardedMatchService:
             reply = self._request(shard, (protocol.UNREGISTER, query_id))
         except WorkerCrashError:
             return self._lost_entry(info, shard)
+        if reply.interest is not None:
+            self._shard_interest[shard] = reply.interest
+            self._routing_cache = None
         final: QueryFinalState = reply.payload
         return ShardedQueryEntry(
             query_id, info.query, info.labels, info.engine_kind, shard,
@@ -314,10 +377,18 @@ class ShardedMatchService:
     # Ingestion
     # ------------------------------------------------------------------
     def ingest(self, edges: Iterable[Edge]) -> List[MatchNotification]:
-        """Broadcast one chronological batch to every live shard.
+        """Ship one chronological batch to the shards that need it.
 
-        The coordinator validates stream order *before* broadcasting,
-        so shards never diverge: on an out-of-order edge the accepted
+        With ``routed=True`` the batch is split per shard on the
+        coordinator's interest table: each interested shard receives
+        only its sub-batch (plus the batch's closing cursor), shards
+        with expirations due get an empty clock-advance frame, and
+        fully disinterested shards are not contacted at all.  With
+        ``routed=False`` the whole batch is broadcast to every live
+        shard (the PR-2 behaviour).
+
+        The coordinator validates stream order *before* shipping, so
+        shards never diverge: on an out-of-order edge the accepted
         prefix is processed everywhere and :class:`OutOfOrderError` is
         raised with the prefix's merged notifications, exactly like the
         in-process service.
@@ -329,10 +400,18 @@ class ShardedMatchService:
             prefix, failure = self._validated_prefix(edges)
             notifications: List[MatchNotification] = []
             if prefix:
-                verb = (protocol.INGEST_BATCH if self.batched
-                        else protocol.INGEST)
-                notifications = self._collect(
-                    self._broadcast((verb, prefix)))
+                if self.routed:
+                    replies = self._exchange(self._route_batch(prefix))
+                else:
+                    if self.binary:
+                        message = wire.encode_ingest(
+                            prefix, batched=self.batched)
+                    else:
+                        verb = (protocol.INGEST_BATCH if self.batched
+                                else protocol.INGEST)
+                        message = (verb, prefix)
+                    replies = self._broadcast(message)
+                notifications = self._collect(replies)
                 self._now = prefix[-1].t
                 self._seq += len(prefix)
                 self.stats.edges_ingested += len(prefix)
@@ -343,6 +422,88 @@ class ShardedMatchService:
         if failure is not None:
             raise OutOfOrderError(failure, notifications)
         return notifications
+
+    def _route_batch(self, prefix: List[Edge]) -> Dict[int, object]:
+        """Split ``prefix`` into per-shard messages by interest.
+
+        Every edge is offered to each live shard's interest summary;
+        uninterested (edge, shard) pairs are counted in
+        ``events_unshipped`` and never serialized.  A shard whose
+        sub-batch is empty still gets a clock-advance frame when edges
+        previously shipped to it expire inside this batch — that keeps
+        its expirations inside the same coordinator call (and therefore
+        at the same position in the merged stream) as a broadcast
+        cluster or a single-process service would emit them.
+        """
+        base_seq = self._seq
+        final_now = prefix[-1].t
+        final_seq = base_seq + len(prefix)
+        delta = self.delta
+        live = [handle.index for handle in self._workers if handle.alive]
+        pairs: Dict[int, List[Tuple[Edge, int]]] = {s: [] for s in live}
+        always, domains = self._routing_table()
+        for offset, edge in enumerate(prefix):
+            seq = base_seq + offset
+            interested = set(always)
+            for domain, shards in domains:
+                if not shards <= interested and domain.matches(edge):
+                    interested |= shards
+            for shard in live:
+                if shard in interested:
+                    pairs[shard].append((edge, seq))
+                    self._shard_expiries[shard].append(edge.t + delta)
+                else:
+                    self.events_unshipped += 1
+        messages: Dict[int, object] = {}
+        for shard in live:
+            due = self._shard_expiries[shard]
+            sub_batch = pairs[shard]
+            if not sub_batch and not (due and due[0] <= final_now):
+                continue
+            while due and due[0] <= final_now:
+                due.popleft()
+            if self.binary:
+                messages[shard] = wire.encode_routed(
+                    sub_batch, final_now, final_seq,
+                    batched=self.batched)
+            else:
+                messages[shard] = (protocol.INGEST_ROUTED, RoutedBatch(
+                    tuple(sub_batch), final_now, final_seq,
+                    self.batched))
+        return messages
+
+    def _routing_table(self):
+        """``(always_shards, [(domain, shards)])`` over live shards,
+        with content-equal domains merged across shards.
+
+        Every query typically registers with the same stream labels, so
+        all shards' summaries collapse to one unique domain and the
+        per-edge routing decision costs one label-triple resolution
+        regardless of the worker count.  Rebuilt lazily whenever a
+        summary or the live-shard set changes (register/unregister/
+        crash — all rare next to ingest).
+        """
+        cached = self._routing_cache
+        if cached is None:
+            always: set = set()
+            domains: List[Tuple[object, set]] = []
+            for handle in self._workers:
+                if not handle.alive:
+                    continue
+                summary = self._shard_interest.get(handle.index)
+                if summary is None:
+                    continue
+                if summary.always:
+                    always.add(handle.index)
+                for domain in summary.domains:
+                    for existing, shards in domains:
+                        if existing == domain:
+                            shards.add(handle.index)
+                            break
+                    else:
+                        domains.append((domain, {handle.index}))
+            cached = self._routing_cache = (frozenset(always), domains)
+        return cached
 
     def process_batch(self, edges: Iterable[Edge]
                       ) -> List[MatchNotification]:
@@ -358,6 +519,9 @@ class ShardedMatchService:
         start = time.perf_counter()
         if self._now is None or t > self._now:
             self._now = t
+        for due in self._shard_expiries:
+            while due and due[0] <= t:
+                due.popleft()
         notifications = self._collect(
             self._broadcast((protocol.ADVANCE, t)))
         self._deliver(notifications)
@@ -369,6 +533,8 @@ class ShardedMatchService:
         in-process service, the arrival cursor is left untouched."""
         self._ensure_open()
         start = time.perf_counter()
+        for due in self._shard_expiries:
+            due.clear()
         notifications = self._collect(
             self._broadcast((protocol.DRAIN, None)))
         self._deliver(notifications)
@@ -435,12 +601,27 @@ class ShardedMatchService:
         custom = callable(spec.engine) and not isinstance(spec.engine, str)
         kind = (getattr(spec.engine, "__name__", "custom") if custom
                 else str(spec.engine))
-        shard = self._placement.place(spec.query_id)
+        shard = self._placement.place(
+            spec.query_id, interest=query_pattern_keys(spec.query))
         try:
-            self._request(shard, (protocol.REGISTER, spec))
+            code = self._intern_codes.get(spec.query_id)
+            if code is None:
+                code = len(self._intern_names)
+                self._intern_codes[spec.query_id] = code
+                self._intern_names.append(spec.query_id)
+            if code not in self._synced_codes[shard]:
+                # Sync the query id's interned code before the worker
+                # can ever need it to pack a binary reply.
+                self._request(shard, (protocol.INTERN,
+                                      ((code, spec.query_id),)))
+                self._synced_codes[shard].add(code)
+            reply = self._request(shard, (protocol.REGISTER, spec))
         except Exception:
             self._placement.remove(spec.query_id)
             raise
+        if reply.interest is not None:
+            self._shard_interest[shard] = reply.interest
+            self._routing_cache = None
         info = _QueryInfo(
             query_id=spec.query_id, query=spec.query,
             labels=dict(spec.labels), engine_kind=kind,
@@ -501,39 +682,60 @@ class ShardedMatchService:
                           errors=1 if not info.active else 0)
 
     # -- RPC core ------------------------------------------------------
+    def _post(self, handle: _WorkerHandle, message) -> None:
+        """Ship one message (binary frames as raw bytes, everything
+        else pickled)."""
+        if isinstance(message, bytes):
+            handle.conn.send_bytes(message)
+        else:
+            handle.conn.send(message)
+
+    def _receive(self, handle: _WorkerHandle) -> Reply:
+        """Read one reply, sniffing binary frames by magic prefix."""
+        data = handle.conn.recv_bytes()
+        if wire.is_reply_frame(data):
+            return wire.decode_reply(data, self._intern_names)
+        return pickle.loads(data)
+
+    def _account(self, reply: Reply) -> None:
+        """Fold a reply's piggybacked bookkeeping into the mirror."""
+        self._apply_errors(reply.errors)
+        self.stats.events_routed += reply.routed
+        self.stats.events_skipped += reply.skipped
+
     def _request(self, shard: int, message) -> Reply:
         """One request/reply exchange with one worker."""
         handle = self._workers[shard]
         if not handle.alive:
             raise WorkerCrashError(f"shard {shard} worker is dead")
         try:
-            handle.conn.send(message)
-            reply: Reply = handle.conn.recv()
+            self._post(handle, message)
+            reply = self._receive(handle)
         except (EOFError, OSError, BrokenPipeError,
                 ConnectionResetError) as exc:
             self._quarantine_shard(shard, exc)
             raise WorkerCrashError(
                 f"shard {shard} worker died mid-request "
                 f"({type(exc).__name__})") from exc
-        self._apply_errors(reply.errors)
-        self.stats.events_routed += reply.routed
+        self._account(reply)
         if reply.failure is not None:
             raise make_exception(reply.failure)
         return reply
 
-    def _broadcast(self, message) -> Dict[int, Reply]:
-        """Send ``message`` to every live worker, then collect replies.
+    def _exchange(self, messages: Dict[int, object]) -> Dict[int, Reply]:
+        """Send per-shard messages, then collect the replies.
 
-        Sends complete before the first receive, so workers process the
-        batch concurrently; a worker that dies at either step is
-        quarantined and simply missing from the result.
+        Sends complete before the first receive, so workers process
+        their batches concurrently; a worker that dies at either step
+        is quarantined and simply missing from the result.
         """
         sent: List[_WorkerHandle] = []
-        for handle in self._workers:
+        for shard, message in messages.items():
+            handle = self._workers[shard]
             if not handle.alive:
                 continue
             try:
-                handle.conn.send(message)
+                self._post(handle, message)
                 sent.append(handle)
             except (OSError, BrokenPipeError) as exc:
                 self._quarantine_shard(handle.index, exc)
@@ -541,12 +743,11 @@ class ShardedMatchService:
         failure = None
         for handle in sent:
             try:
-                reply: Reply = handle.conn.recv()
+                reply = self._receive(handle)
             except (EOFError, OSError, ConnectionResetError) as exc:
                 self._quarantine_shard(handle.index, exc)
                 continue
-            self._apply_errors(reply.errors)
-            self.stats.events_routed += reply.routed
+            self._account(reply)
             if reply.failure is not None:
                 failure = failure or reply.failure
             else:
@@ -555,12 +756,19 @@ class ShardedMatchService:
             raise make_exception(failure)
         return replies
 
+    def _broadcast(self, message) -> Dict[int, Reply]:
+        """Send ``message`` to every live worker, then collect replies."""
+        return self._exchange({handle.index: message
+                               for handle in self._workers
+                               if handle.alive})
+
     def _quarantine_shard(self, shard: int, cause: BaseException) -> None:
         """A worker died: flip its shard and every query on it."""
         handle = self._workers[shard]
         if not handle.alive:
             return
         handle.alive = False
+        self._routing_cache = None
         try:
             handle.conn.close()
         except OSError:

@@ -1,31 +1,54 @@
 """Shard placement: which worker hosts which query.
 
-The policy is least-loaded-first with the lowest shard index as the tie
-break, which keeps placement deterministic (important for the
-equivalence tests and for reproducible benchmarks) while spreading a
-dynamically registered/retired query population evenly.  Quarantined
-shards stop receiving placements but keep their membership records, so
-the coordinator can still enumerate (and unregister) the queries that
-were lost with a crashed worker.
+Two policies, both deterministic (important for the equivalence tests
+and for reproducible benchmarks):
+
+* ``least_loaded`` (default) — least-loaded-first with the lowest shard
+  index as the tie break, spreading a dynamically registered/retired
+  query population evenly;
+* ``interest`` — interest-aware co-location: a query lands on the live
+  shard whose hosted queries share the most interest keys with it (the
+  ``(src_label, dst_label, edge_label)`` patterns of
+  :func:`repro.service.interest.query_pattern_keys`), falling back to
+  least-loaded among equally overlapping shards.  Clustering
+  label-overlapping queries shrinks the coordinator's per-batch fan-out
+  (fewer shards are interested in any one event) at the cost of less
+  even load when the workload is skewed toward one label region.
+
+Quarantined shards stop receiving placements but keep their membership
+records, so the coordinator can still enumerate (and unregister) the
+queries that were lost with a crashed worker.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, FrozenSet, List, Optional
+
+#: Valid placement policies.
+POLICIES = ("least_loaded", "interest")
 
 
 class ShardPlacement:
     """Tracks query -> shard assignments across ``num_shards`` shards."""
 
-    def __init__(self, num_shards: int):
+    def __init__(self, num_shards: int, policy: str = "least_loaded"):
         if num_shards < 1:
             raise ValueError("need at least one shard")
+        if policy not in POLICIES:
+            raise ValueError(f"unknown placement policy {policy!r}; "
+                             f"known: {list(POLICIES)}")
+        self.policy = policy
         # Ordered membership per shard (dict-as-ordered-set keeps
         # enumeration deterministic).
         self._members: Dict[int, Dict[str, None]] = {
             shard: {} for shard in range(num_shards)}
         self._shard_of: Dict[str, int] = {}
         self._quarantined: set = set()
+        #: Interest keys recorded per query (interest policy only).
+        self._keys: Dict[str, FrozenSet] = {}
+        #: Per-shard multiset of hosted interest keys.
+        self._shard_keys: Dict[int, Dict[object, int]] = {
+            shard: {} for shard in range(num_shards)}
 
     @property
     def num_shards(self) -> int:
@@ -35,22 +58,51 @@ class ShardPlacement:
         """Shards still eligible for placement, in index order."""
         return [s for s in self._members if s not in self._quarantined]
 
-    def place(self, query_id: str) -> int:
-        """Assign ``query_id`` to the least-loaded live shard."""
+    def place(self, query_id: str,
+              interest: Optional[FrozenSet] = None) -> int:
+        """Assign ``query_id`` to a live shard per the active policy.
+
+        ``interest`` is the query's pattern-key set (ignored by the
+        ``least_loaded`` policy; an empty/None set under ``interest``
+        degrades to least-loaded).
+        """
         if query_id in self._shard_of:
             raise ValueError(f"query {query_id!r} already placed")
         live = self.live_shards()
         if not live:
             raise RuntimeError("no live shards left to place queries on")
-        shard = min(live, key=lambda s: (len(self._members[s]), s))
+        if self.policy == "interest" and interest:
+            shard = min(live, key=lambda s: (
+                -self._overlap(s, interest), len(self._members[s]), s))
+        else:
+            shard = min(live, key=lambda s: (len(self._members[s]), s))
         self._members[shard][query_id] = None
         self._shard_of[query_id] = shard
+        if interest:
+            self._keys[query_id] = frozenset(interest)
+            counts = self._shard_keys[shard]
+            for key in interest:
+                counts[key] = counts.get(key, 0) + 1
         return shard
+
+    def _overlap(self, shard: int, interest: FrozenSet) -> int:
+        """How many of ``interest``'s keys the shard already hosts."""
+        counts = self._shard_keys[shard]
+        return sum(1 for key in interest if key in counts)
 
     def remove(self, query_id: str) -> int:
         """Drop ``query_id``; returns the shard that hosted it."""
         shard = self._shard_of.pop(query_id)
         self._members[shard].pop(query_id, None)
+        keys = self._keys.pop(query_id, None)
+        if keys:
+            counts = self._shard_keys[shard]
+            for key in keys:
+                remaining = counts.get(key, 0) - 1
+                if remaining > 0:
+                    counts[key] = remaining
+                else:
+                    counts.pop(key, None)
         return shard
 
     def shard_of(self, query_id: str) -> int:

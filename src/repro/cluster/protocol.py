@@ -13,20 +13,36 @@ one :class:`Reply`.  The strict request/reply lockstep is what makes
 the coordinator's crash detection sound: a worker that dies leaves a
 broken pipe where its reply should be, never a half-processed queue.
 
-Replies piggyback two bookkeeping fields so the coordinator's mirror
-stays current without extra round trips: ``errors`` lists queries newly
-quarantined by the worker's inner service during the operation, and
-``routed`` is the number of (event, query) routings the worker
-performed, which keeps the coordinator's ``events_routed`` counter in
-lockstep with a single-process :class:`~repro.service.MatchService`.
+Replies piggyback bookkeeping fields so the coordinator's mirror stays
+current without extra round trips: ``errors`` lists queries newly
+quarantined by the worker's inner service during the operation,
+``routed``/``skipped`` are the numbers of (event, query) routings the
+worker performed and interest-pruned, and ``interest`` (on
+register/unregister acks) is the shard's refreshed
+:class:`~repro.service.interest.InterestSummary`, from which the
+coordinator decides which shards each ingest batch must visit at all.
+``routed`` keeps the coordinator's ``events_routed`` counter in
+lockstep with a single-process :class:`~repro.service.MatchService`;
+``skipped`` only covers events the worker actually received, so under
+shard routing the coordinator's ``events_skipped`` runs *below* the
+single-process value — the remainder is what the coordinator's own
+``events_unshipped`` counter measures, as (event, shard) shipments
+rather than (event, query) skips.
+
+On the ingest hot path the pickled tuples are replaced by packed binary
+frames (:mod:`repro.cluster.wire`); the verbs below remain the
+canonical protocol — a binary frame decodes to exactly one of them —
+and every control verb stays pickled.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.graph.temporal_graph import Edge
 from repro.query.temporal_query import TemporalQuery
+from repro.service.interest import InterestSummary
 from repro.service.stats import QueryStats
 from repro.streaming.driver import StreamResult
 
@@ -37,13 +53,34 @@ DESCRIBE = "describe"        # payload: query_id (non-destructive)
 QUERY_STATS = "query_stats"  # payload: query_id
 QUARANTINE = "quarantine"    # payload: (query_id, error message)
 CURSOR = "cursor"            # payload: (now, seq) — checkpoint restore
+INTERN = "intern"            # payload: tuple of (code, string) pairs
 INGEST = "ingest"            # payload: list of edges (validated prefix)
 INGEST_BATCH = "ingest_batch"  # payload: edges; engines see on_batch
+INGEST_ROUTED = "ingest_routed"  # payload: RoutedBatch (interest-routed)
 ADVANCE = "advance"          # payload: timestamp
 DRAIN = "drain"              # payload: None
 STATS = "stats"              # payload: None
 SNAPSHOT = "snapshot"        # payload: None
 STOP = "stop"                # payload: None
+
+
+@dataclass(frozen=True)
+class RoutedBatch:
+    """One shard's interest-routed share of a coordinator ingest batch.
+
+    ``pairs`` holds only the edges some query on the shard may care
+    about, each with its **global** arrival sequence number;
+    ``final_now``/``final_seq`` are the full batch's closing cursor so
+    the worker expires due edges and re-synchronizes its stream
+    position even when the tail of the batch was routed elsewhere.  An
+    empty ``pairs`` is a pure clock-advance (sent only when the shard
+    has expirations due).
+    """
+
+    pairs: Tuple[Tuple[Edge, int], ...]
+    final_now: int
+    final_seq: int
+    batched: bool = True
 
 
 @dataclass(frozen=True)
@@ -91,6 +128,8 @@ class Reply:
     payload: object = None
     errors: Tuple[Tuple[str, str], ...] = ()
     routed: int = 0
+    skipped: int = 0
+    interest: Optional[InterestSummary] = None
     failure: Optional[Tuple[str, str]] = None
 
 

@@ -1,0 +1,182 @@
+"""Packed binary framing for the cluster's ingest hot path.
+
+The coordinator/worker pipe normally carries pickled ``(verb, payload)``
+tuples.  Pickle is the right tool for the control plane (queries,
+engine factories, checkpoints), but on the ingest hot path it spends
+most of its time serializing thousands of tiny ``Edge`` NamedTuples and
+``MatchNotification`` objects one attribute at a time.  Everything on
+that path is integers — edges are ``(u, v, t)`` triples, matches map
+query indices to vertices and edges, event kinds are one bit — so both
+directions are packed into flat ``array('q')`` frames instead:
+
+* **requests** (:func:`encode_ingest` / :func:`encode_routed`) carry a
+  batch of edges, optionally paired with global sequence numbers and
+  the batch's closing cursor (the routed form);
+* **replies** (:func:`encode_reply`) carry the notification stream with
+  query ids replaced by interned integer codes.
+
+The only strings of the exchange — query ids — are interned: the
+coordinator assigns each id a code at registration time and syncs it to
+the owning worker via the :data:`~repro.cluster.protocol.INTERN` verb
+*before* the query's ``REGISTER``, so every later reply can refer to
+queries by code.
+
+Frames are sniffed by a 4-byte magic prefix that cannot collide with a
+pickle stream (protocol 2+ pickles start with ``\\x80``), so binary and
+pickled messages interleave freely on one connection: checkpoints,
+control verbs and the ``routed=False`` broadcast mode keep working
+unchanged, and a reply that cannot be packed (request failures,
+piggybacked error lists, non-integer payloads) silently falls back to
+pickle.  Frames use machine-native ``array('q')`` byte order — both
+ends of a ``multiprocessing.Pipe`` live on the same host.
+"""
+
+from __future__ import annotations
+
+from array import array
+from itertools import chain
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster import protocol
+from repro.cluster.protocol import Reply, RoutedBatch
+from repro.graph.temporal_graph import Edge
+from repro.service.service import MatchNotification
+from repro.streaming.events import Event, EventKind
+from repro.streaming.match import Match
+
+#: Magic prefixes (first byte deliberately outside pickle's opcodes).
+MAGIC_REQUEST = b"RWQ1"
+MAGIC_REPLY = b"RWR1"
+
+#: Request frame modes.
+_MODE_INGEST = 0
+_MODE_INGEST_BATCH = 1
+_MODE_ROUTED = 2
+_MODE_ROUTED_BATCH = 3
+
+
+def is_request_frame(data: bytes) -> bool:
+    """True when ``data`` is a binary request frame (else: pickle)."""
+    return data[:4] == MAGIC_REQUEST
+
+
+def is_reply_frame(data: bytes) -> bool:
+    """True when ``data`` is a binary reply frame (else: pickle)."""
+    return data[:4] == MAGIC_REPLY
+
+
+# ----------------------------------------------------------------------
+# Requests (coordinator -> worker)
+# ----------------------------------------------------------------------
+def encode_ingest(edges: Sequence[Edge], *, batched: bool) -> bytes:
+    """A broadcast ingest frame: ``[n, u, v, t, ...]``."""
+    mode = _MODE_INGEST_BATCH if batched else _MODE_INGEST
+    values = array("q", chain((len(edges),), chain.from_iterable(edges)))
+    return MAGIC_REQUEST + bytes((mode,)) + values.tobytes()
+
+
+def encode_routed(pairs: Sequence[Tuple[Edge, int]], final_now: int,
+                  final_seq: int, *, batched: bool) -> bytes:
+    """A routed sub-batch frame: the closing cursor, then
+    ``[n, u, v, t, seq, ...]`` (``n`` may be zero for a pure
+    clock-advance frame that only flushes due expirations)."""
+    mode = _MODE_ROUTED_BATCH if batched else _MODE_ROUTED
+    values = array("q", (final_now, final_seq, len(pairs)))
+    for edge, seq in pairs:
+        values.extend(edge)
+        values.append(seq)
+    return MAGIC_REQUEST + bytes((mode,)) + values.tobytes()
+
+
+def decode_request(data: bytes) -> Tuple[str, object]:
+    """Decode a request frame back to a ``(verb, payload)`` pair with
+    the exact shapes the pickled protocol uses."""
+    mode = data[4]
+    values = array("q")
+    values.frombytes(data[5:])
+    if mode in (_MODE_INGEST, _MODE_INGEST_BATCH):
+        n = values[0]
+        edges = [Edge(values[i], values[i + 1], values[i + 2])
+                 for i in range(1, 1 + 3 * n, 3)]
+        verb = (protocol.INGEST_BATCH if mode == _MODE_INGEST_BATCH
+                else protocol.INGEST)
+        return verb, edges
+    if mode in (_MODE_ROUTED, _MODE_ROUTED_BATCH):
+        final_now, final_seq, n = values[0], values[1], values[2]
+        pairs = [(Edge(values[i], values[i + 1], values[i + 2]),
+                  values[i + 3])
+                 for i in range(3, 3 + 4 * n, 4)]
+        return protocol.INGEST_ROUTED, RoutedBatch(
+            pairs=tuple(pairs), final_now=final_now, final_seq=final_seq,
+            batched=mode == _MODE_ROUTED_BATCH)
+    raise ValueError(f"unknown request frame mode {mode}")
+
+
+# ----------------------------------------------------------------------
+# Replies (worker -> coordinator)
+# ----------------------------------------------------------------------
+def encode_reply(reply: Reply,
+                 codes: Dict[str, int]) -> Optional[bytes]:
+    """Pack an ingest reply, or return None when it must stay pickled.
+
+    Encodable replies have no failure, no piggybacked error list, no
+    interest summary, and a payload that is a list of integer-valued
+    :class:`MatchNotification` objects whose query ids are all interned
+    in ``codes``.
+    """
+    if (reply.failure is not None or reply.errors
+            or reply.interest is not None):
+        return None
+    notes = reply.payload
+    if type(notes) is not list:
+        return None
+    values = array("q", (reply.routed, reply.skipped, len(notes)))
+    try:
+        for note in notes:
+            event = note.event
+            edge = event.edge
+            match = note.match
+            vertex_map = match.vertex_map
+            edge_map = match.edge_map
+            values.extend((codes[note.query_id],
+                           1 if event.kind is EventKind.ARRIVAL else 0,
+                           edge.u, edge.v, edge.t, event.time, note.seq,
+                           len(vertex_map), len(edge_map)))
+            values.extend(vertex_map)
+            for image in edge_map:
+                values.extend(image)
+    except (KeyError, TypeError, AttributeError, OverflowError):
+        return None
+    return MAGIC_REPLY + values.tobytes()
+
+
+def decode_reply(data: bytes, names: List[str]) -> Reply:
+    """Unpack a binary reply frame (``names`` maps codes to ids)."""
+    values = array("q")
+    values.frombytes(data[4:])
+    routed, skipped, count = values[0], values[1], values[2]
+    notes: List[MatchNotification] = []
+    i = 3
+    for _ in range(count):
+        (code, arrival, u, v, t, time, seq,
+         num_vertices, num_edges) = values[i:i + 9]
+        i += 9
+        vertex_map = tuple(values[i:i + num_vertices])
+        i += num_vertices
+        edge_map = tuple(Edge(values[j], values[j + 1], values[j + 2])
+                         for j in range(i, i + 3 * num_edges, 3))
+        i += 3 * num_edges
+        notes.append(MatchNotification(
+            names[code],
+            Event(Edge(u, v, t), time,
+                  EventKind.ARRIVAL if arrival else EventKind.EXPIRATION),
+            Match(vertex_map=vertex_map, edge_map=edge_map),
+            seq))
+    return Reply(payload=notes, routed=routed, skipped=skipped)
+
+
+__all__ = [
+    "MAGIC_REPLY", "MAGIC_REQUEST", "decode_reply", "decode_request",
+    "encode_ingest", "encode_reply", "encode_routed", "is_reply_frame",
+    "is_request_frame",
+]

@@ -2,9 +2,12 @@
 
 Every worker owns the complete service machinery — engines, per-query
 quarantine, stats, checkpointing — over its *shard* of the registered
-queries, while receiving the *whole* event stream (all queries share
-one window over one stream, so every worker must see every edge; what
-is partitioned is the fan-out work, which is where the time goes).
+queries.  Under broadcast mode it receives the whole event stream; by
+default the coordinator interest-routes, so the worker sees only the
+sub-batches some hosted query may care about, each edge tagged with its
+global arrival sequence number plus the batch's closing cursor
+(:meth:`MatchService.ingest_routed` keeps the local window and stream
+position consistent with the global stream).
 
 Failure layers, innermost first:
 
@@ -22,9 +25,10 @@ Failure layers, innermost first:
 
 from __future__ import annotations
 
-from typing import Tuple
+import pickle
+from typing import Dict, Tuple
 
-from repro.cluster import protocol
+from repro.cluster import protocol, wire
 from repro.cluster.protocol import QueryFinalState, RegisterSpec, Reply
 from repro.service import checkpoint as service_checkpoint
 from repro.service.registry import QueryStatus
@@ -35,18 +39,26 @@ from repro.service.stats import QueryStats
 class ShardWorker:
     """Dispatcher around one shard's :class:`MatchService`."""
 
-    def __init__(self, delta: int):
-        self.service = MatchService(delta)
+    def __init__(self, delta: int, routed: bool = True):
+        self.service = MatchService(delta, routed=routed)
         # Quarantines already reported (or initiated by the
         # coordinator): only *new* errors ride back on replies.
         self._reported: set = set()
         self._routed_seen = 0
+        self._skipped_seen = 0
+        #: Interned query-id codes (synced by the coordinator's INTERN
+        #: verb) used to pack binary ingest replies.
+        self.codes: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Request dispatch
     # ------------------------------------------------------------------
     def dispatch(self, verb: str, payload: object) -> object:
         service = self.service
+        if verb == protocol.INGEST_ROUTED:
+            return service.ingest_routed(
+                payload.pairs, payload.final_now, payload.final_seq,
+                batched=payload.batched)
         if verb == protocol.INGEST_BATCH:
             return service.process_batch(payload)
         if verb == protocol.INGEST:
@@ -74,6 +86,10 @@ class ShardWorker:
             # sequence numbers (and hence notification ordering keys)
             # continue exactly where the checkpointed service stopped.
             service._now, service._seq = payload[0], int(payload[1])
+            return None
+        if verb == protocol.INTERN:
+            for code, name in payload:
+                self.codes[name] = code
             return None
         if verb == protocol.STATS:
             return (service.stats,
@@ -131,25 +147,57 @@ class ShardWorker:
         delta, self._routed_seen = current - self._routed_seen, current
         return delta
 
+    def skipped_delta(self) -> int:
+        """(event, query) interest skips performed since the last
+        reply."""
+        current = self.service.stats.events_skipped
+        delta, self._skipped_seen = current - self._skipped_seen, current
+        return delta
 
-def shard_worker_main(conn, delta: int) -> None:
-    """Worker process entry point: strict request/reply loop."""
-    worker = ShardWorker(delta)
+    def interest_for(self, verb: str):
+        """The refreshed shard interest summary to piggyback, for verbs
+        that change query membership (None otherwise)."""
+        if verb in (protocol.REGISTER, protocol.UNREGISTER):
+            return self.service.registry.interest.summary()
+        return None
+
+
+def shard_worker_main(conn, delta: int, routed: bool = True) -> None:
+    """Worker process entry point: strict request/reply loop.
+
+    Requests arrive either as pickle streams (control verbs) or as
+    packed binary frames (the ingest hot path, sniffed by magic
+    prefix); binary requests get binary replies whenever the reply is
+    packable, with pickle as the transparent fallback.
+    """
+    worker = ShardWorker(delta, routed=routed)
     while True:
         try:
-            verb, payload = conn.recv()
+            data = conn.recv_bytes()
         except (EOFError, KeyboardInterrupt):
             break
+        binary = wire.is_request_frame(data)
+        if binary:
+            verb, payload = wire.decode_request(data)
+        else:
+            verb, payload = pickle.loads(data)
         try:
             result = worker.dispatch(verb, payload)
             reply = Reply(payload=result, errors=worker.new_errors(),
-                          routed=worker.routed_delta())
+                          routed=worker.routed_delta(),
+                          skipped=worker.skipped_delta(),
+                          interest=worker.interest_for(verb))
         except Exception as exc:  # noqa: BLE001 - request-level boundary
             reply = Reply(errors=worker.new_errors(),
                           routed=worker.routed_delta(),
+                          skipped=worker.skipped_delta(),
                           failure=(type(exc).__name__, str(exc)))
+        frame = wire.encode_reply(reply, worker.codes) if binary else None
         try:
-            conn.send(reply)
+            if frame is not None:
+                conn.send_bytes(frame)
+            else:
+                conn.send(reply)
         except (BrokenPipeError, OSError):
             break
         if verb == protocol.STOP:

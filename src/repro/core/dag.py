@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from repro.query.temporal_query import QueryEdge, TemporalQuery
+from repro.query.temporal_query import TemporalQuery
 
 
 class QueryDag:

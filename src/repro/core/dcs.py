@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Deque, Dict, Iterable, List, Set, Tuple
 
 from repro.core.dag import QueryDag
 from repro.graph.temporal_graph import TemporalGraph

@@ -26,11 +26,10 @@ recurrence; a missing weak embedding means the edge is filtered outright.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Deque, Dict, Iterable, List, Set, Tuple
 
 from repro.core.dag import QueryDag
 from repro.graph.temporal_graph import TemporalGraph
-from repro.query.matching import candidate_timestamps
 
 INF = float("inf")
 

@@ -19,7 +19,7 @@ the average inter-arrival gap (a window of ``10k`` covers 10,000 edges).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.graph.temporal_graph import Edge

@@ -10,7 +10,7 @@ live window and applies arrivals/expirations to it.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterable, List, Optional, Tuple
+from typing import Deque, Iterable, List, Optional
 
 from repro.graph.temporal_graph import Edge, TemporalGraph
 

@@ -19,7 +19,7 @@ and the oracle.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.graph.temporal_graph import Edge, TemporalGraph
 from repro.query.temporal_query import QueryEdge, TemporalQuery

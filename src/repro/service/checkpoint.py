@@ -60,9 +60,10 @@ def encode_query_spec(*, query_id: str, query: TemporalQuery,
         "order_pairs": [list(p) for p in query.order.pairs()],
         "directed": query.directed,
         "edge_labels": (list(query.edge_labels)
-                        if any(l is not None for l in query.edge_labels)
+                        if any(lab is not None
+                               for lab in query.edge_labels)
                         else None),
-        "data_labels": {str(v): l for v, l in labels.items()},
+        "data_labels": {str(v): lab for v, lab in labels.items()},
         "stats": stats,
     }
 
@@ -77,7 +78,7 @@ def decode_query_spec(spec: Dict[str, object]
         directed=spec["directed"],
         edge_labels=spec["edge_labels"],
     )
-    return query, {int(v): l for v, l in spec["data_labels"].items()}
+    return query, {int(v): lab for v, lab in spec["data_labels"].items()}
 
 
 def snapshot(service: MatchService) -> Dict[str, object]:

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.query.temporal_query import TemporalQuery
+from repro.service.interest import QueryInterestIndex
 from repro.service.stats import QueryStats
 from repro.streaming.driver import StreamResult
 from repro.streaming.engine import MatchEngine
@@ -99,6 +100,10 @@ class QueryRegistry:
         self._factories = engine_factories
         self._entries: Dict[str, RegisteredQuery] = {}
         self._ids = itertools.count()
+        #: Label-triple -> interested-query index, maintained on every
+        #: register/unregister (this is the single choke point for
+        #: membership, including checkpoint restores).
+        self.interest = QueryInterestIndex()
         # Entry snapshot reused by the per-event fan-out loop; rebuilt
         # only when membership changes (register/unregister), never per
         # event.
@@ -170,6 +175,11 @@ class QueryRegistry:
         if subscriber is not None:
             entry.subscribers.append(subscriber)
         self._entries[query_id] = entry
+        # Custom factories stay un-indexed (always routed): a duck-typed
+        # engine may not interpret the query's labels like the stock
+        # engines, so pruning on their behalf would be unsound.
+        self.interest.add(query_id, query, entry.labels, edge_label_fn,
+                          indexable=not entry.custom_factory)
         self._entry_cache = None
         return entry
 
@@ -179,6 +189,7 @@ class QueryRegistry:
             entry = self._entries.pop(query_id)
         except KeyError:
             raise KeyError(f"no registered query {query_id!r}") from None
+        self.interest.remove(query_id)
         self._entry_cache = None
         return entry
 

@@ -107,14 +107,25 @@ class MatchService:
         restore); a fresh one is created by default.
     engine_factories:
         Optional engine-kind registry overriding the benchmark default.
+    routed:
+        When True (the default), events are fanned out only to the
+        engines whose query could possibly match them, as decided by
+        the registry's :class:`~repro.service.interest.
+        QueryInterestIndex`; everything else is counted as skipped
+        without an engine dispatch.  ``routed=False`` restores the
+        broadcast fan-out (every event to every engine).  Matches and
+        notifications are identical either way — the index only prunes
+        dispatches that were guaranteed to return nothing.
     """
 
     def __init__(self, delta: int, *,
                  registry: Optional[QueryRegistry] = None,
-                 engine_factories: Optional[Dict[str, EngineFactory]] = None):
+                 engine_factories: Optional[Dict[str, EngineFactory]] = None,
+                 routed: bool = True):
         if delta <= 0:
             raise ValueError("window size delta must be positive")
         self.delta = delta
+        self.routed = routed
         self.registry = registry or QueryRegistry(engine_factories)
         self.stats = ServiceStats()
         self._live: Deque[Tuple[Edge, int]] = deque()  # (edge, arrival seq)
@@ -271,13 +282,39 @@ class MatchService:
     def _fanout_batch(self, events: List[Tuple[Event, int]],
                       out: List[MatchNotification]) -> None:
         """Run every eligible engine over the batch, then route the
-        per-event results in global event order."""
+        per-event results in global event order.
+
+        With interest routing, the label triple of every event is
+        resolved once per batch (not once per engine) and each engine
+        only receives the sub-batch it is interested in; the remainder
+        is tallied as skipped without touching the engine.
+        """
         registry = self.registry
         entries = [entry for entry in registry.entries() if entry.active]
+        interest_sets = None
+        if self.routed:
+            lookup = registry.interest.lookup_ids
+            interest_sets = [lookup(ev.edge) for ev, _ in events]
         per_entry: Dict[str, Dict[int, List[Match]]] = {}
         for entry in entries:
             joined = entry.joined_seq
-            eligible = [(ev, seq) for ev, seq in events if seq >= joined]
+            if interest_sets is None:
+                eligible = [(ev, seq) for ev, seq in events
+                            if seq >= joined]
+            else:
+                query_id = entry.query_id
+                eligible = []
+                skipped = 0
+                for pair, interested in zip(events, interest_sets):
+                    if pair[1] < joined:
+                        continue
+                    if query_id in interested:
+                        eligible.append(pair)
+                    else:
+                        skipped += 1
+                if skipped:
+                    entry.stats.events_skipped += skipped
+                    self.stats.events_skipped += skipped
             if not eligible:
                 continue
             self.stats.events_routed += len(eligible)
@@ -340,6 +377,65 @@ class MatchService:
                 entry.result.events_processed += len(per_entry[
                     entry.query_id])
 
+    def ingest_routed(self, pairs: List[Tuple[Edge, int]],
+                      final_now: int, final_seq: int, *,
+                      batched: bool = True) -> List[MatchNotification]:
+        """Ingest a routed *subset* of a globally ordered stream.
+
+        This is the shard-worker entry point of the interest-routed
+        cluster: ``pairs`` carries only the edges some hosted query is
+        interested in, each paired with its **global** arrival sequence
+        number, while ``final_now``/``final_seq`` are the whole batch's
+        closing cursor.  After the subset is processed, the clock is
+        advanced to ``final_now`` so that live edges whose window closed
+        during the unseen remainder of the batch expire *now* — in the
+        same call a full-stream service would have expired them — and
+        the sequence cursor adopts ``final_seq`` so later registrations
+        join at the global stream position.
+
+        The caller (the cluster coordinator) has already validated
+        stream order across the full batch; a ``batched=True`` call
+        feeds engines through ``on_batch`` exactly like
+        :meth:`process_batch`, ``batched=False`` keeps the per-event
+        dispatch.
+        """
+        notifications: List[MatchNotification] = []
+        start = time.perf_counter()
+        try:
+            if (pairs and self._now is not None
+                    and pairs[0][0].t < self._now):
+                raise OutOfOrderError(
+                    f"out-of-order routed batch: t={pairs[0][0].t} after "
+                    f"now={self._now}", notifications)
+            if batched:
+                events: List[Tuple[Event, int]] = []
+                for edge, seq in pairs:
+                    self._collect_expirations(edge.t, events)
+                    self._now = edge.t
+                    events.append(
+                        (Event(edge, edge.t, EventKind.ARRIVAL), seq))
+                    self._live.append((edge, seq))
+                    self.stats.edges_ingested += 1
+                self._collect_expirations(final_now, events)
+                if events:
+                    self._fanout_batch(events, notifications)
+            else:
+                for edge, seq in pairs:
+                    self._expire_until(edge.t, notifications)
+                    self._now = edge.t
+                    event = Event(edge, edge.t, EventKind.ARRIVAL)
+                    self._fanout(event, seq, notifications)
+                    self._live.append((edge, seq))
+                    self.stats.edges_ingested += 1
+                self._expire_until(final_now, notifications)
+            if self._now is None or final_now > self._now:
+                self._now = final_now
+            self._seq = final_seq
+        finally:
+            self.stats.batches += 1
+            self.stats.elapsed_seconds += time.perf_counter() - start
+        return notifications
+
     def advance_to(self, t: int) -> List[MatchNotification]:
         """Advance the clock to ``t`` without ingesting edges, expiring
         every edge whose window has closed."""
@@ -386,6 +482,9 @@ class MatchService:
         """Route one event to every eligible query, isolating failures."""
         arrival = event.is_arrival
         registry = self.registry
+        interested = (registry.interest.lookup_ids(event.edge)
+                      if self.routed else None)
+        service_stats = self.stats
         for entry in registry.entries():
             if (not entry.active or entry.joined_seq > seq
                     or entry.query_id not in registry):
@@ -394,6 +493,14 @@ class MatchService:
                 # must not see the event either; and a query
                 # unregistered from a callback mid-fan-out (it is still
                 # in the cached snapshot) gets nothing further.
+                continue
+            if interested is not None and entry.query_id not in interested:
+                # Interest-index skip: the engine is not dispatched, so
+                # neither its timer nor the error-isolation bookkeeping
+                # below runs — skipped is a distinct outcome from
+                # failed, and the counters keep them apart.
+                entry.stats.events_skipped += 1
+                service_stats.events_skipped += 1
                 continue
             self.stats.events_routed += 1
             stats = entry.stats

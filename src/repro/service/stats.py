@@ -9,7 +9,7 @@ serialize, or diff them freely.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from typing import Dict
 
 
@@ -20,11 +20,16 @@ class QueryStats:
     ``elapsed_seconds`` is the cumulative wall-clock time spent inside
     this query's engine (and its subscribers), so the service can report
     which registered queries dominate the cost of a batch.
+    ``events_skipped`` counts events the interest index pruned before
+    they reached the engine (see :mod:`repro.service.interest`); a
+    skipped event costs no engine dispatch, no timing, and no
+    error-isolation bookkeeping.
     """
 
     query_id: str = ""
     engine: str = ""
     events_processed: int = 0
+    events_skipped: int = 0
     batches_processed: int = 0
     occurred: int = 0
     expired: int = 0
@@ -54,6 +59,7 @@ class ServiceStats:
     edges_ingested: int = 0
     batches: int = 0
     events_routed: int = 0
+    events_skipped: int = 0
     elapsed_seconds: float = 0.0
     registered_total: int = 0
     unregistered_total: int = 0

@@ -9,7 +9,7 @@ collect into sets for the oracle cross-checks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Tuple
 
 from repro.graph.temporal_graph import Edge, TemporalGraph
 from repro.query.temporal_query import TemporalQuery

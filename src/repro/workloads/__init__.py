@@ -3,6 +3,10 @@
 from repro.workloads.queries import (
     QueryInstance, make_mixed_query_set, make_query_set, random_walk_query,
 )
+from repro.workloads.selectivity import (
+    SelectivityWorkload, make_selectivity_workload,
+)
 
 __all__ = ["QueryInstance", "make_mixed_query_set", "make_query_set",
-           "random_walk_query"]
+           "random_walk_query",
+           "SelectivityWorkload", "make_selectivity_workload"]

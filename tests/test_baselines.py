@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from repro.baselines import RapidFlowEngine, SymBiEngine, TimingEngine
 from repro.oracle import OracleEngine
 from repro.streaming import StreamDriver
-from tests.paper_example import DATA_LABELS, SIGMA, all_edges, make_query
+from tests.paper_example import DATA_LABELS, all_edges, make_query
 from tests.test_property_engines import run_engine, streams, temporal_queries
 
 ENGINES = [SymBiEngine, RapidFlowEngine, TimingEngine]

@@ -12,7 +12,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bench.runner import engine_names, make_engine
-from repro.graph.temporal_graph import Edge, TemporalGraph
+from repro.graph.temporal_graph import Edge
 from repro.query.temporal_query import TemporalQuery
 from repro.service import MatchService
 from repro.streaming import StreamDriver
@@ -188,7 +188,7 @@ class TestServiceProcessBatch:
 
         service = MatchService(delta=5)
         bad = service.register(PATH, self.LABELS,
-                               lambda q, l, elf=None: Boom())
+                               lambda q, lb, elf=None: Boom())
         good = service.register(PATH, self.LABELS, "tcm")
         service.process_batch(self._edges())
         service.drain()

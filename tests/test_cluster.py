@@ -170,6 +170,149 @@ class TestEquivalence:
             assert service.now == single.now == 10
 
 
+class TestRoutingModes:
+    """Routed (default), broadcast, pickle-wire and interest-placement
+    clusters must all reproduce the single-process output exactly."""
+
+    def test_broadcast_cluster_identical_to_broadcast_single(
+            self, workload):
+        """``routed=False`` restores the PR-2 broadcast contract: its
+        counters match a broadcast (``routed=False``) in-process
+        service, and its notifications match every other mode."""
+        stream, instances = workload
+        single = MatchService(DELTA, routed=False)
+        expected = drive_scenario(single, stream, instances)
+        with ShardedMatchService(DELTA, workers=2,
+                                 routed=False) as service:
+            notes, stats, retired = drive_scenario(service, stream,
+                                                   instances)
+            assert service.events_unshipped == 0
+            assert (service.stats.events_routed
+                    == single.stats.events_routed)
+            assert service.stats.events_skipped == 0
+        assert (notes, stats) == (expected[0], expected[1])
+
+    def test_routed_notifications_equal_broadcast_notifications(
+            self, workload, single_outcome):
+        """Interest routing only prunes dispatches that return nothing,
+        so the notification stream is mode-independent."""
+        stream, instances = workload
+        with ShardedMatchService(DELTA, workers=2,
+                                 routed=False) as service:
+            notes, _, _ = drive_scenario(service, stream, instances)
+        assert notes == single_outcome[0]
+
+    def test_pickle_wire_identical(self, workload, single_outcome):
+        """``binary=False`` keeps the whole exchange pickled; output
+        and counters must not change."""
+        stream, instances = workload
+        expected_notes, expected_stats, _ = single_outcome
+        with ShardedMatchService(DELTA, workers=2,
+                                 binary=False) as service:
+            notes, stats, _ = drive_scenario(service, stream, instances)
+        assert notes == expected_notes
+        assert stats == expected_stats
+
+    def test_interest_placement_identical(self, workload,
+                                          single_outcome):
+        stream, instances = workload
+        expected_notes, expected_stats, _ = single_outcome
+        with ShardedMatchService(DELTA, workers=3,
+                                 placement="interest") as service:
+            notes, stats, _ = drive_scenario(service, stream, instances)
+        assert notes == expected_notes
+        assert stats == expected_stats
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_split_batches_with_interest_mutation(self, workers):
+        """Disjoint-label queries: batches split per shard, mid-stream
+        register/unregister mutates the coordinator's interest tables,
+        and the merged stream still equals the single service's."""
+        ef_query = TemporalQuery(labels=["E", "F"], edges=[(0, 1)])
+        labels = {0: "A", 1: "B", 2: "C", 3: "D", 4: "E", 5: "F"}
+        cd_query = TemporalQuery(labels=["C", "D"], edges=[(0, 1)])
+        pattern = [Edge.make(0, 1, 0), Edge.make(2, 3, 0),
+                   Edge.make(4, 5, 0)]
+        edges = [Edge.make(pattern[t % 3].u, pattern[t % 3].v, t)
+                 for t in range(1, 61)]
+        batches = [edges[lo:lo + 10] for lo in range(0, len(edges), 10)]
+
+        def drive(service):
+            service.register(AB_QUERY, AB_LABELS, query_id="ab")
+            service.register(cd_query, labels, query_id="cd")
+            notes = []
+            notes += service.ingest(batches[0])
+            notes += service.ingest(batches[1])
+            service.register(ef_query, labels, query_id="ef")
+            notes += service.ingest(batches[2])
+            notes += service.ingest(batches[3])
+            service.unregister("cd")
+            notes += service.ingest(batches[4])
+            notes += service.ingest(batches[5])
+            notes += service.drain()
+            stats = {}
+            for query_id in ("ab", "ef"):
+                s = service.query_stats(query_id)
+                stats[query_id] = (s.occurred, s.expired,
+                                   s.events_processed, s.errors)
+            return notes, stats
+
+        expected = drive(MatchService(15))
+        with ShardedMatchService(15, workers=workers) as service:
+            outcome = drive(service)
+            # Disjoint interests: routing must actually elide traffic.
+            assert service.events_unshipped > 0
+        assert outcome == expected
+
+    def test_raising_edge_label_fn_quarantines_only_its_query(self):
+        """The coordinator's shard-interest lookup evaluates
+        edge_label_fn too; a throwing callable must quarantine only its
+        query inside the owning worker, not abort the batch."""
+        labeled = TemporalQuery(labels=["A", "B"], edges=[(0, 1)],
+                                edge_labels=["x"])
+        empty = {}
+        with ShardedMatchService(100, workers=2) as service:
+            bad = service.register(labeled, AB_LABELS, query_id="bad",
+                                   edge_label_fn=empty.__getitem__)
+            good = service.register(AB_QUERY, AB_LABELS, query_id="good")
+            service.ingest(ab_edges(3))
+            entry = service.get(bad)
+            assert entry.status is QueryStatus.ERRORED
+            assert "KeyError" in entry.error
+            assert service.query_stats(good).occurred == 3
+            assert service.live_workers == 2
+
+    def test_edge_labeled_directed_equivalence(self):
+        """netflow: directed stream with per-edge labels — the interest
+        triples must refine on edge labels without changing output."""
+        stream = generate_stream(DATASET_SPECS["netflow"], 200, seed=5)
+        graph = TemporalGraph(labels=stream.labels,
+                              directed=stream.directed)
+        elabels = stream.edge_labels or {}
+        for e in stream.edges:
+            graph.insert_edge(e, label=elabels.get(e))
+        instances = make_mixed_query_set(graph, 4, sizes=(3, 4), seed=1)
+        assert instances
+
+        def drive(service):
+            for i, instance in enumerate(instances):
+                service.register(instance.query, stream.labels, "tcm",
+                                 query_id=f"q{i}",
+                                 edge_label_fn=elabels.get)
+            notes = []
+            for lo in range(0, len(stream.edges), 40):
+                notes += service.ingest(stream.edges[lo:lo + 40])
+            notes += service.drain()
+            stats = {f"q{i}": service.query_stats(f"q{i}").occurred
+                     for i in range(len(instances))}
+            return notes, stats
+
+        expected = drive(MatchService(60))
+        with ShardedMatchService(60, workers=2) as service:
+            outcome = drive(service)
+        assert outcome == expected
+
+
 class TestCheckpoint:
     def checkpointed_halves(self, workload):
         stream, instances = workload

@@ -37,7 +37,7 @@ class TestGeneration:
             assert e.u in labels and e.v in labels
         # Labels within the alphabet.
         spec = DATASET_SPECS[name]
-        assert all(0 <= l < spec.num_labels for l in labels.values())
+        assert all(0 <= lab < spec.num_labels for lab in labels.values())
 
     def test_determinism(self):
         a = generate_stream(DATASET_SPECS["yahoo"], 300, seed=42)
@@ -87,8 +87,8 @@ class TestDirectedAndLabeledStreams:
         assert stream.edge_labels is not None
         assert len(stream.edge_labels) == len(stream.edges)
         spec = DATASET_SPECS["netflow"]
-        assert all(0 <= l < spec.num_edge_labels
-                   for l in stream.edge_labels.values())
+        assert all(0 <= lab < spec.num_edge_labels
+                   for lab in stream.edge_labels.values())
         fn = stream.edge_label_fn()
         assert fn(stream.edges[0]) == stream.edge_labels[stream.edges[0]]
 

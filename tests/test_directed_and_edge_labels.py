@@ -13,7 +13,7 @@ from hypothesis import given, settings, strategies as st
 from repro.baselines import RapidFlowEngine, SymBiEngine, TimingEngine
 from repro.core.tcm import TCMEngine
 from repro.graph.temporal_graph import Edge, TemporalGraph
-from repro.oracle import OracleEngine, enumerate_embeddings
+from repro.oracle import OracleEngine
 from repro.query import TemporalQuery
 from repro.streaming import StreamDriver
 

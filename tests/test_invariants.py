@@ -7,15 +7,13 @@ max-min index and the DCS and compare against fresh instances built on
 the final graph state.
 """
 
-from typing import List, Tuple
-
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.core.dag import build_best_dag
 from repro.core.dcs import DCS
 from repro.core.maxmin import MaxMinIndex
 from repro.core.tcm import TCMEngine
-from repro.graph.temporal_graph import Edge, TemporalGraph
+from repro.graph.temporal_graph import TemporalGraph
 from repro.streaming.events import build_event_list
 from tests.test_property_engines import streams, temporal_queries
 

@@ -1,11 +1,10 @@
 """Tests for the max-min timestamp index against the paper's examples."""
 
-from repro.core.maxmin import INF, MaxMinIndex
+from repro.core.maxmin import MaxMinIndex
 from repro.graph.temporal_graph import TemporalGraph
 from tests.paper_example import (
-    DATA_LABELS, EPS1, EPS2, EPS3, EPS4, EPS5, EPS6,
-    SIGMA, U1, U2, U3, U4, U5, V1, V2, V4, V5, V7,
-    make_graph, make_paper_dag, make_query,
+    DATA_LABELS, EPS2, EPS6, SIGMA, U3, U5, V4, V7,
+    make_paper_dag, make_query,
 )
 
 

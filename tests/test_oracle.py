@@ -1,8 +1,7 @@
 """Tests for the brute-force oracle against the paper's Example II.1/II.2."""
 
-from repro.graph.temporal_graph import Edge
 from repro.oracle import OracleEngine, enumerate_embeddings
-from repro.streaming import StreamDriver, build_event_list
+from repro.streaming import StreamDriver
 from repro.streaming.match import Match
 from tests.paper_example import (
     DATA_LABELS, EPS1, EPS2, EPS3, EPS4, EPS5, EPS6,

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.tcm import TCMEngine

@@ -307,8 +307,8 @@ class TestErrorIsolation:
     def test_failing_engine_quarantined(self):
         service = MatchService(100)
         bad = service.register(AB_QUERY, AB_LABELS,
-                               engine=lambda q, l, elf=None:
-                               FailingEngine(q, l, elf))
+                               engine=lambda q, lb, elf=None:
+                               FailingEngine(q, lb, elf))
         good = service.register(AB_QUERY, AB_LABELS)
         service.ingest(ab_edges(6))
         service.drain()
@@ -402,8 +402,8 @@ class TestCheckpoint:
     def test_custom_factory_not_checkpointable(self):
         service = MatchService(4)
         service.register(AB_QUERY, AB_LABELS,
-                         engine=lambda q, l, elf=None:
-                         make_engine("tcm", q, l, elf))
+                         engine=lambda q, lb, elf=None:
+                         make_engine("tcm", q, lb, elf))
         with pytest.raises(ValueError, match="custom factory"):
             snapshot(service)
 
@@ -415,8 +415,8 @@ class TestCheckpoint:
 
         broken = MatchService(4)
         broken.register(AB_QUERY, AB_LABELS,
-                        engine=lambda q, l, elf=None:
-                        make_engine("tcm", q, l, elf))
+                        engine=lambda q, lb, elf=None:
+                        make_engine("tcm", q, lb, elf))
         with pytest.raises(ValueError, match="custom factory"):
             save_checkpoint(broken, path)
         assert open(path).read() == good

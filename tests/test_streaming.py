@@ -4,7 +4,6 @@ import pytest
 
 from repro.graph.temporal_graph import Edge, TemporalGraph
 from repro.oracle import OracleEngine
-from repro.query import TemporalQuery
 from repro.streaming import (
     Event, EventKind, Match, StreamDriver, build_event_list,
 )

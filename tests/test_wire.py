@@ -1,0 +1,109 @@
+"""Tests for the binary wire codec (repro.cluster.wire)."""
+
+import pickle
+
+import pytest
+
+from repro.cluster import protocol, wire
+from repro.cluster.protocol import Reply, RoutedBatch
+from repro.graph.temporal_graph import Edge
+from repro.service.interest import InterestSummary
+from repro.service.service import MatchNotification
+from repro.streaming.events import Event, EventKind
+from repro.streaming.match import Match
+
+
+def sample_edges(n=5, start=1):
+    return [Edge.make(i % 3, i % 3 + 1, start + i) for i in range(n)]
+
+
+def sample_note(query_id="q0", seq=7, arrival=True):
+    edge = Edge.make(1, 2, 40)
+    kind = EventKind.ARRIVAL if arrival else EventKind.EXPIRATION
+    return MatchNotification(
+        query_id,
+        Event(edge, 40 if arrival else 90, kind),
+        Match(vertex_map=(1, 2, 5),
+              edge_map=(edge, Edge.make(2, 5, 39))),
+        seq)
+
+
+class TestRequestFrames:
+    @pytest.mark.parametrize("batched,verb", [
+        (False, protocol.INGEST), (True, protocol.INGEST_BATCH)])
+    def test_ingest_round_trip(self, batched, verb):
+        edges = sample_edges()
+        frame = wire.encode_ingest(edges, batched=batched)
+        assert wire.is_request_frame(frame)
+        decoded_verb, payload = wire.decode_request(frame)
+        assert decoded_verb == verb
+        assert payload == edges
+
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_routed_round_trip(self, batched):
+        pairs = [(edge, 100 + i) for i, edge in enumerate(sample_edges())]
+        frame = wire.encode_routed(pairs, 55, 105, batched=batched)
+        verb, payload = wire.decode_request(frame)
+        assert verb == protocol.INGEST_ROUTED
+        assert isinstance(payload, RoutedBatch)
+        assert list(payload.pairs) == pairs
+        assert payload.final_now == 55
+        assert payload.final_seq == 105
+        assert payload.batched is batched
+
+    def test_empty_routed_frame_is_clock_advance(self):
+        frame = wire.encode_routed([], 99, 42, batched=True)
+        verb, payload = wire.decode_request(frame)
+        assert verb == protocol.INGEST_ROUTED
+        assert payload.pairs == ()
+        assert (payload.final_now, payload.final_seq) == (99, 42)
+
+    def test_pickle_streams_are_not_frames(self):
+        data = pickle.dumps((protocol.INGEST, sample_edges()))
+        assert not wire.is_request_frame(data)
+        assert not wire.is_reply_frame(data)
+
+
+class TestReplyFrames:
+    CODES = {"q0": 0, "alerts": 1}
+    NAMES = ["q0", "alerts"]
+
+    def test_notification_round_trip(self):
+        reply = Reply(payload=[sample_note("q0", 7, arrival=True),
+                               sample_note("alerts", 3, arrival=False)],
+                      routed=11, skipped=4)
+        frame = wire.encode_reply(reply, self.CODES)
+        assert frame is not None and wire.is_reply_frame(frame)
+        decoded = wire.decode_reply(frame, self.NAMES)
+        assert decoded.payload == reply.payload
+        assert decoded.routed == 11
+        assert decoded.skipped == 4
+        assert decoded.errors == ()
+        assert decoded.failure is None
+
+    def test_empty_notification_list(self):
+        frame = wire.encode_reply(Reply(payload=[], routed=2, skipped=9),
+                                  self.CODES)
+        decoded = wire.decode_reply(frame, self.NAMES)
+        assert decoded.payload == []
+        assert (decoded.routed, decoded.skipped) == (2, 9)
+
+    def test_failure_falls_back_to_pickle(self):
+        reply = Reply(failure=("ValueError", "boom"))
+        assert wire.encode_reply(reply, self.CODES) is None
+
+    def test_piggybacked_errors_fall_back_to_pickle(self):
+        reply = Reply(payload=[], errors=(("q0", "engine blew up"),))
+        assert wire.encode_reply(reply, self.CODES) is None
+
+    def test_interest_summary_falls_back_to_pickle(self):
+        reply = Reply(payload="q0", interest=InterestSummary())
+        assert wire.encode_reply(reply, self.CODES) is None
+
+    def test_unknown_query_id_falls_back_to_pickle(self):
+        reply = Reply(payload=[sample_note("ghost")])
+        assert wire.encode_reply(reply, self.CODES) is None
+
+    def test_non_list_payload_falls_back_to_pickle(self):
+        assert wire.encode_reply(Reply(payload={"a": 1}),
+                                 self.CODES) is None

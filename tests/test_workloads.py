@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.datasets import DATASET_SPECS, generate_stream
 from repro.graph.temporal_graph import TemporalGraph
 from repro.oracle import enumerate_embeddings
