@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.datasets import DATASET_SPECS, generate_stream
 from repro.graph.temporal_graph import TemporalGraph
@@ -45,6 +45,11 @@ class MultiQueryConfig:
     routed: bool = True
     #: Shard placement policy ("least_loaded" or "interest").
     placement: str = "least_loaded"
+    #: Attach a :class:`~repro.obs.MetricsRegistry` to the service (and,
+    #: when sharded, to every worker).  The run's merged snapshot lands
+    #: in :attr:`MultiQueryRun.metrics`.  Off by default: the
+    #: uninstrumented hot path is the benchmarked artifact.
+    metrics: bool = False
 
     @property
     def delta(self) -> int:
@@ -72,6 +77,16 @@ class MultiQueryRun:
     events_routed: int = 0
     events_skipped: int = 0
     per_query: List[QueryStats] = field(default_factory=list)
+    #: (event, shard) shipments the cluster router elided entirely
+    #: (always 0 for the in-process service).
+    events_unshipped: int = 0
+    #: Per-shard routing breakdown (sharded runs only): one dict per
+    #: shard with ``shard``/``shipped``/``unshipped``/``routed``/
+    #: ``skipped`` keys, in shard order.
+    per_shard: List[Dict[str, int]] = field(default_factory=list)
+    #: Merged metrics snapshot (see :mod:`repro.obs`) when the run was
+    #: configured with ``metrics=True``; ``None`` otherwise.
+    metrics: Optional[Dict[str, object]] = None
 
 
 def dataset_workload(config: MultiQueryConfig) -> Tuple[object,
@@ -113,13 +128,18 @@ def build_service(config: MultiQueryConfig, engine: str = "tcm",
               f"requested queries could be generated on "
               f"{config.dataset!r} (random walks kept failing)",
               file=sys.stderr)
+    registry = None
+    if config.metrics:
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
     if config.workers > 1:
         from repro.cluster import ShardedMatchService
         service = ShardedMatchService(
             config.delta, workers=config.workers, routed=config.routed,
-            placement=config.placement)
+            placement=config.placement, metrics=registry)
     else:
-        service = MatchService(config.delta, routed=config.routed)
+        service = MatchService(config.delta, routed=config.routed,
+                               metrics=registry)
     for instance in instances:
         service.register(instance.query, stream.labels, engine,
                          edge_label_fn=stream.edge_label_fn(),
@@ -131,12 +151,17 @@ def run_multi_query(config: Optional[MultiQueryConfig] = None,
                     engine: str = "tcm",
                     checkpoint_path: Optional[str] = None,
                     stream=None,
-                    graph: Optional[TemporalGraph] = None) -> MultiQueryRun:
+                    graph: Optional[TemporalGraph] = None,
+                    progress: Optional[Callable] = None) -> MultiQueryRun:
     """Drive a freshly built service over its stream in batches.
 
     ``checkpoint_path`` optionally saves a JSON snapshot of the final
     service state (after the stream is drained).  ``stream``/``graph``
     reuse a pre-generated workload (see :func:`build_service`).
+    ``progress`` is called after every ingested batch as
+    ``progress(service, edges_done, edges_total)`` — the CLI's
+    ``--metrics`` live table hangs off it; note it runs inside the
+    timed region, so leave it ``None`` for throughput measurements.
     """
     config = config or MultiQueryConfig()
     service, stream = build_service(config, engine, stream, graph)
@@ -159,6 +184,8 @@ def run_multi_query(config: Optional[MultiQueryConfig] = None,
             # the filter maintenance deduped across the chunk); the
             # sharded service routes it to its workers' batch path.
             service.process_batch(edges[lo:lo + step])
+            if progress is not None:
+                progress(service, min(lo + step, len(edges)), len(edges))
         service.drain()
         if checkpoint_path is not None:
             if sharded:
@@ -170,6 +197,21 @@ def run_multi_query(config: Optional[MultiQueryConfig] = None,
             per_query = service.all_query_stats()
         else:
             per_query = [entry.stats for entry in service.registry.list()]
+        per_shard: List[Dict[str, int]] = []
+        if sharded:
+            per_shard = [
+                {"shard": shard,
+                 "shipped": service.shard_shipped[shard],
+                 "unshipped": service.shard_unshipped[shard],
+                 "routed": service.shard_routed[shard],
+                 "skipped": service.shard_skipped[shard]}
+                for shard in range(service.num_workers)]
+        snapshot = None
+        if config.metrics:
+            # Workers ship their registries on STATS; grab the merged
+            # snapshot before close() reaps them.
+            snapshot = (service.metrics_snapshot() if sharded
+                        else service.metrics.snapshot())
         return MultiQueryRun(
             dataset=config.dataset,
             engine=engine,
@@ -188,6 +230,9 @@ def run_multi_query(config: Optional[MultiQueryConfig] = None,
             events_routed=service.stats.events_routed,
             events_skipped=service.stats.events_skipped,
             per_query=per_query,
+            events_unshipped=getattr(service, "events_unshipped", 0),
+            per_shard=per_shard,
+            metrics=snapshot,
         )
     finally:
         if sharded:
@@ -227,6 +272,8 @@ def format_multi_run(run: MultiQueryRun) -> str:
     """Render one run as the service summary table the CLI prints."""
     workers = f" workers={run.workers}" if run.workers > 1 else ""
     mode = "" if run.routed else " broadcast"
+    unshipped = (f" / {run.events_unshipped} unshipped"
+                 if run.workers > 1 else "")
     lines = [
         f"service run: dataset={run.dataset} engine={run.engine} "
         f"queries={run.num_queries} batch={run.batch_size}{workers}{mode}",
@@ -235,7 +282,7 @@ def format_multi_run(run: MultiQueryRun) -> str:
         f"({run.throughput_eps:.0f} edges/s), "
         f"{run.occurred} occurrences / {run.expired} expirations, "
         f"{run.events_routed} events routed / "
-        f"{run.events_skipped} skipped, "
+        f"{run.events_skipped} skipped{unshipped}, "
         f"{run.errored_queries} errored",
         f"  {'query':<8}{'engine':<12}{'events':>8}{'skip':>8}"
         f"{'batches':>8}{'occ':>7}{'exp':>7}{'ms':>9}{'peak':>7}",
@@ -247,6 +294,15 @@ def format_multi_run(run: MultiQueryRun) -> str:
             f"{s.batches_processed:>8}{s.occurred:>7}{s.expired:>7}"
             f"{s.elapsed_seconds * 1000.0:>9.1f}"
             f"{s.peak_structure_entries:>7}")
+    if run.per_shard:
+        lines.append(
+            f"  {'shard':<8}{'shipped':>9}{'unshipped':>11}"
+            f"{'routed':>9}{'skipped':>9}")
+        for row in run.per_shard:
+            lines.append(
+                f"  {row['shard']:<8}{row['shipped']:>9}"
+                f"{row['unshipped']:>11}{row['routed']:>9}"
+                f"{row['skipped']:>9}")
     return "\n".join(lines)
 
 

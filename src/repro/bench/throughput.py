@@ -26,6 +26,7 @@ from repro.bench.multi import MultiQueryConfig, build_service
 from repro.bench.runner import make_engine
 from repro.datasets import DATASET_SPECS, generate_stream
 from repro.graph.temporal_graph import TemporalGraph
+from repro.obs import host_metadata
 from repro.service import MatchService
 from repro.streaming import StreamDriver
 from repro.workloads import make_mixed_query_set, make_selectivity_workload
@@ -144,6 +145,7 @@ def measure_single(config: Optional[ThroughputConfig] = None
         engines[engine_name] = modes
     return {
         "benchmark": "single_query_throughput",
+        "host": host_metadata(),
         "workload": {
             "datasets": list(config.datasets),
             "stream_edges": config.stream_edges,
@@ -317,6 +319,7 @@ def measure_multi(config: Optional[ThroughputConfig] = None,
         / modes["per_event"]["events_per_sec"], 3)
     return {
         "benchmark": "multi_query_service_throughput",
+        "host": host_metadata(),
         "workload": {
             "dataset": dataset,
             "stream_edges": config.stream_edges,

@@ -137,6 +137,15 @@ def build_parser() -> argparse.ArgumentParser:
     pm.add_argument("--checkpoint", default=None, metavar="PATH",
                     help="save a JSON checkpoint of the final service "
                          "state to PATH")
+    pm.add_argument("--metrics", action="store_true",
+                    help="attach the repro.obs metrics registry to the "
+                         "service (and every shard worker): print a "
+                         "live per-query/per-shard table while the "
+                         "stream ingests, then write metrics.json and "
+                         "metrics.prom artifacts")
+    pm.add_argument("--metrics-dir", default=".", metavar="DIR",
+                    help="where the --metrics artifacts are written "
+                         "(default: current directory)")
 
     pb = sub.add_parser(
         "bench", help="throughput micro-harness (BENCH_*.json)")
@@ -272,6 +281,63 @@ def _run_bench(args) -> int:
     return status
 
 
+def _live_metrics_table(ticks: int = 5):
+    """A ``run_multi_query`` progress callback printing a per-query
+    (and, when sharded, per-shard) table roughly ``ticks`` times over
+    the stream."""
+    state = {"tick": -1}
+
+    def progress(service, done: int, total: int) -> None:
+        tick = done * ticks // max(total, 1)
+        if tick == state["tick"] and done != total:
+            return
+        state["tick"] = tick
+        sharded = hasattr(service, "num_workers")
+        stats = service.stats
+        line = (f"[{100 * done // max(total, 1):>3}%] {done}/{total} "
+                f"edges, {stats.events_routed} routed / "
+                f"{stats.events_skipped} skipped")
+        if sharded:
+            line += f" / {service.events_unshipped} unshipped"
+        print(line)
+        per_query = (service.all_query_stats() if sharded
+                     else [e.stats for e in service.registry.list()])
+        for s in per_query:
+            print(f"  {s.query_id:<8}{s.engine:<12}"
+                  f"{s.events_processed:>8} ev{s.matches:>8} m"
+                  f"{s.elapsed_seconds * 1000.0:>9.1f} ms")
+        if sharded:
+            for shard in range(service.num_workers):
+                print(f"  shard {shard}: "
+                      f"{service.shard_shipped[shard]} shipped, "
+                      f"{service.shard_unshipped[shard]} unshipped, "
+                      f"{service.shard_routed[shard]} routed, "
+                      f"{service.shard_skipped[shard]} skipped")
+
+    return progress
+
+
+def _write_metrics(run, out_dir: str) -> List[str]:
+    """Write a run's merged snapshot as ``metrics.json`` (host metadata
+    + metric families) and ``metrics.prom`` (Prometheus text
+    exposition); returns the written paths."""
+    import json
+    import os
+
+    from repro.obs import host_metadata, render_prometheus
+
+    os.makedirs(out_dir, exist_ok=True)
+    json_path = os.path.join(out_dir, "metrics.json")
+    with open(json_path, "w") as handle:
+        json.dump({"host": host_metadata(), "metrics": run.metrics},
+                  handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    prom_path = os.path.join(out_dir, "metrics.prom")
+    with open(prom_path, "w") as handle:
+        handle.write(render_prometheus(run.metrics))
+    return [json_path, prom_path]
+
+
 def _config(args) -> ExperimentConfig:
     return ExperimentConfig(
         datasets=tuple(args.datasets),
@@ -318,6 +384,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             workers=args.workers[0],
             routed=not args.broadcast,
             placement=args.placement.replace("-", "_"),
+            metrics=args.metrics,
         )
         try:
             if args.scaling:
@@ -325,14 +392,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                     print("error: --checkpoint applies to a single run, "
                           "not a --scaling sweep", file=sys.stderr)
                     return 2
+                if args.metrics:
+                    print("error: --metrics applies to a single run, "
+                          "not a --scaling sweep (the live table and "
+                          "artifacts describe one service lifetime)",
+                          file=sys.stderr)
+                    return 2
                 runs = multi_query_scaling([args.engine], args.scaling,
                                            mconfig,
                                            worker_counts=args.workers)
                 print(format_scaling(runs))
             else:
+                progress = _live_metrics_table() if args.metrics else None
                 run = run_multi_query(mconfig, args.engine,
-                                      checkpoint_path=args.checkpoint)
+                                      checkpoint_path=args.checkpoint,
+                                      progress=progress)
                 print(format_multi_run(run))
+                if args.metrics:
+                    for path in _write_metrics(run, args.metrics_dir):
+                        print(f"wrote {path}")
                 if args.checkpoint:
                     print(f"checkpoint saved to {args.checkpoint}")
         except ValueError as exc:

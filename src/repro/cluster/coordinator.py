@@ -63,7 +63,7 @@ import multiprocessing
 import pickle
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (
     Callable, Deque, Dict, Iterable, List, Optional, Tuple,
 )
@@ -103,6 +103,11 @@ class _QueryInfo:
     subscribers: List[Callable] = field(default_factory=list)
     status: QueryStatus = QueryStatus.ACTIVE
     error: Optional[str] = None
+    #: Last :class:`QueryStats` fetched from the owning worker.  When
+    #: the worker later crashes, stats calls fall back to this cache,
+    #: so counters accumulated before the crash (engine time, matches,
+    #: events) survive the quarantine instead of resetting to zero.
+    last_stats: Optional[QueryStats] = None
 
     @property
     def active(self) -> bool:
@@ -161,12 +166,20 @@ class ShardedMatchService:
     def __init__(self, delta: int, *, workers: int = 2,
                  start_method: Optional[str] = None, batched: bool = True,
                  routed: bool = True, binary: bool = True,
-                 placement: str = "least_loaded"):
+                 placement: str = "least_loaded", metrics=None):
         if delta <= 0:
             raise ValueError("window size delta must be positive")
         if workers < 1:
             raise ValueError("need at least one worker")
         self.delta = delta
+        #: Optional :class:`~repro.obs.MetricsRegistry`.  When set, the
+        #: coordinator instruments its RPC plane (per-shard wire bytes,
+        #: round trips, worker busy time from the piggybacked reply
+        #: deltas, merge/route latency, crashes) and each worker builds
+        #: its own registry, shipped back whole on the STATS verb and
+        #: merged by :meth:`metrics_snapshot` under ``shard=`` labels.
+        #: ``None`` (the default) leaves every hot path untouched.
+        self.metrics = metrics
         #: When True (default), workers feed each broadcast batch to
         #: their engines through ``MatchEngine.on_batch`` (the fast
         #: path); False keeps the per-event dispatch.  Output is
@@ -190,6 +203,17 @@ class ShardedMatchService:
         #: (which mirrors the per-query skips workers report for the
         #: events they did receive).
         self.events_unshipped = 0
+        #: Per-shard breakdown of the routing decision (always
+        #: maintained — they are the same int increments the global
+        #: counters already pay): ``shard_shipped[i]``/
+        #: ``shard_unshipped[i]`` count (event, shard) shipments made
+        #: and elided for shard ``i``, ``shard_routed[i]``/
+        #: ``shard_skipped[i]`` mirror the (event, query) routings and
+        #: interest skips shard ``i`` reported on its replies.
+        self.shard_shipped = [0] * workers
+        self.shard_unshipped = [0] * workers
+        self.shard_routed = [0] * workers
+        self.shard_skipped = [0] * workers
         self._queries: Dict[str, _QueryInfo] = {}
         self._placement = ShardPlacement(workers, policy=placement)
         self._ids = itertools.count()
@@ -223,11 +247,37 @@ class ShardedMatchService:
             parent_conn, child_conn = ctx.Pipe()
             process = ctx.Process(
                 target=shard_worker_main,
-                args=(child_conn, delta, routed),
+                args=(child_conn, delta, routed, metrics is not None),
                 name=f"repro-shard-{index}", daemon=True)
             process.start()
             child_conn.close()
             self._workers.append(_WorkerHandle(index, process, parent_conn))
+        #: Pre-bound coordinator instruments (None when metrics are
+        #: off); per-shard instruments are bound lazily on first touch.
+        self._h_ingest = self._h_route = self._h_exchange = None
+        self._h_merge = self._h_batch_events = self._g_inflight = None
+        self._shard_obs: List[Optional[Tuple]] = [None] * workers
+        if metrics is not None:
+            from repro.obs import SIZE_BUCKETS
+            self._g_inflight = metrics.gauge(
+                "cluster_inflight_requests",
+                "replies outstanding at the peak of the last exchange")
+            self._h_ingest = metrics.histogram(
+                "cluster_ingest_seconds",
+                "coordinator wall-clock per ingest batch")
+            self._h_route = metrics.histogram(
+                "cluster_route_seconds",
+                "coordinator time splitting a batch by shard interest")
+            self._h_exchange = metrics.histogram(
+                "cluster_exchange_seconds",
+                "send-all/receive-all round trip per batch")
+            self._h_merge = metrics.histogram(
+                "cluster_merge_seconds",
+                "merging per-shard replies into global event order")
+            self._h_batch_events = metrics.histogram(
+                "cluster_batch_events", "edges per coordinator batch",
+                SIZE_BUCKETS)
+            metrics.add_collector(self._export_metrics)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -333,6 +383,7 @@ class ShardedMatchService:
                 reply = None
             if reply is not None:
                 final: QueryFinalState = reply.payload
+                info.last_stats = final.stats
                 return ShardedQueryEntry(
                     query_id, info.query, info.labels, info.engine_kind,
                     info.shard, QueryStatus(final.status), final.error,
@@ -346,6 +397,15 @@ class ShardedMatchService:
         which also fetches the query's full collected
         :class:`StreamResult` (O(matches) to serialize), so this is the
         right call for periodic stats polling on a hot stream.
+
+        Crash semantics: every successful fetch (here, :meth:`get`, or
+        :meth:`all_query_stats`) caches the returned counters on the
+        coordinator's mirror.  If the owning worker later crashes, this
+        method keeps returning that last-known snapshot — engine
+        ``elapsed_seconds``, match counts and event counts accumulated
+        before the crash — with ``errors`` raised to at least 1, rather
+        than a zeroed placeholder that would silently drop the
+        quarantined shard's contribution from merged timing reports.
         """
         info = self._get_info(query_id)
         if self._workers[info.shard].alive:
@@ -354,6 +414,7 @@ class ShardedMatchService:
                                       (protocol.QUERY_STATS, query_id))
             except WorkerCrashError:
                 return self._lost_stats(info)
+            info.last_stats = reply.payload
             return reply.payload
         return self._lost_stats(info)
 
@@ -363,13 +424,15 @@ class ShardedMatchService:
         replies = self._broadcast((protocol.STATS, None))
         by_query: Dict[str, QueryStats] = {}
         for reply in replies.values():
-            _, per_query = reply.payload
+            per_query = reply.payload[1]
             by_query.update(per_query)
         out = []
         for info in self._infos_in_order():
             stats = by_query.get(info.query_id)
             if stats is None:
                 stats = self._lost_stats(info)
+            else:
+                info.last_stats = stats
             out.append(stats)
         return out
 
@@ -396,12 +459,20 @@ class ShardedMatchService:
         self._ensure_open()
         edges = list(edges)
         start = time.perf_counter()
+        obs = self.metrics
         try:
             prefix, failure = self._validated_prefix(edges)
             notifications: List[MatchNotification] = []
             if prefix:
                 if self.routed:
-                    replies = self._exchange(self._route_batch(prefix))
+                    if obs is not None:
+                        route_start = time.perf_counter()
+                        messages = self._route_batch(prefix)
+                        self._h_route.observe(
+                            time.perf_counter() - route_start)
+                    else:
+                        messages = self._route_batch(prefix)
+                    replies = self._exchange(messages)
                 else:
                     if self.binary:
                         message = wire.encode_ingest(
@@ -410,6 +481,9 @@ class ShardedMatchService:
                         verb = (protocol.INGEST_BATCH if self.batched
                                 else protocol.INGEST)
                         message = (verb, prefix)
+                    for handle in self._workers:
+                        if handle.alive:
+                            self.shard_shipped[handle.index] += len(prefix)
                     replies = self._broadcast(message)
                 notifications = self._collect(replies)
                 self._now = prefix[-1].t
@@ -417,8 +491,12 @@ class ShardedMatchService:
                 self.stats.edges_ingested += len(prefix)
             self._deliver(notifications)
         finally:
+            spent = time.perf_counter() - start
             self.stats.batches += 1
-            self.stats.elapsed_seconds += time.perf_counter() - start
+            self.stats.elapsed_seconds += spent
+            if obs is not None:
+                self._h_ingest.observe(spent)
+                self._h_batch_events.observe(len(edges))
         if failure is not None:
             raise OutOfOrderError(failure, notifications)
         return notifications
@@ -452,8 +530,10 @@ class ShardedMatchService:
                 if shard in interested:
                     pairs[shard].append((edge, seq))
                     self._shard_expiries[shard].append(edge.t + delta)
+                    self.shard_shipped[shard] += 1
                 else:
                     self.events_unshipped += 1
+                    self.shard_unshipped[shard] += 1
         messages: Dict[int, object] = {}
         for shard in live:
             due = self._shard_expiries[shard]
@@ -584,6 +664,75 @@ class ShardedMatchService:
             pass
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The cluster-wide metrics snapshot: the coordinator's own
+        registry merged with every live worker's registry, the latter
+        under ``shard="N"`` labels (so one query's engine-time
+        histogram is distinguishable per hosting shard).  Fetched over
+        the existing STATS verb — one round trip per live shard.
+        Returns ``{}`` when metrics are off."""
+        if self.metrics is None:
+            return {}
+        replies = self._broadcast((protocol.STATS, None))
+        snap = self.metrics.snapshot()
+        from repro.obs import merge_snapshots
+        for shard, reply in replies.items():
+            payload = reply.payload
+            worker_snap = payload[2] if len(payload) > 2 else {}
+            if worker_snap:
+                merge_snapshots(snap, worker_snap, shard=str(shard))
+        return snap
+
+    def _export_metrics(self) -> None:
+        """Snapshot-time collector: mirror the coordinator's plain
+        counters into the registry (hot paths pay nothing for them)."""
+        obs = self.metrics
+        s = self.stats
+        obs.counter("cluster_edges_ingested_total",
+                    "edges accepted by the coordinator"
+                    ).set_total(s.edges_ingested)
+        obs.counter("cluster_batches_total",
+                    "ingest batches shipped").set_total(s.batches)
+        obs.counter("cluster_events_routed_total",
+                    "(event, query) routings across all shards"
+                    ).set_total(s.events_routed)
+        obs.counter("cluster_events_skipped_total",
+                    "(event, query) interest skips inside workers"
+                    ).set_total(s.events_skipped)
+        obs.counter("cluster_events_unshipped_total",
+                    "(event, shard) shipments elided by the router"
+                    ).set_total(self.events_unshipped)
+        obs.counter("cluster_errored_queries_total",
+                    "queries quarantined").set_total(s.errored_queries)
+        obs.counter("cluster_elapsed_seconds_total",
+                    "coordinator wall-clock across ingest/advance/drain"
+                    ).set_total(s.elapsed_seconds)
+        obs.gauge("cluster_live_workers",
+                  "shard workers still serving").set(self.live_workers)
+        obs.gauge("cluster_registered_queries",
+                  "queries currently registered").set(len(self._queries))
+        for shard in range(self.num_workers):
+            label = str(shard)
+            obs.counter("cluster_shard_shipped_total",
+                        "(event, shard) shipments made to the shard",
+                        shard=label).set_total(self.shard_shipped[shard])
+            obs.counter("cluster_shard_unshipped_total",
+                        "(event, shard) shipments elided for the shard",
+                        shard=label).set_total(self.shard_unshipped[shard])
+            obs.counter("cluster_shard_routed_total",
+                        "(event, query) routings the shard reported",
+                        shard=label).set_total(self.shard_routed[shard])
+            obs.counter("cluster_shard_skipped_total",
+                        "(event, query) interest skips the shard reported",
+                        shard=label).set_total(self.shard_skipped[shard])
+            obs.gauge("cluster_worker_alive",
+                      "1 while the shard worker is serving",
+                      shard=label).set(
+                          1 if self._workers[shard].alive else 0)
+
+    # ------------------------------------------------------------------
     # Checkpoint hooks (used by repro.cluster.checkpoint)
     # ------------------------------------------------------------------
     def shard_snapshots(self) -> Dict[int, Dict[str, object]]:
@@ -678,30 +827,89 @@ class ShardedMatchService:
             self._lost_stats(info), None)
 
     def _lost_stats(self, info: _QueryInfo) -> QueryStats:
+        """Stats for a query whose worker is unreachable: the cached
+        last-known counters when any fetch succeeded before the crash
+        (with ``errors`` raised to at least 1 if the query is now
+        quarantined — not incremented, since a worker-side quarantine
+        may already be counted in the cache), else a zeroed
+        placeholder."""
+        penalty = 1 if not info.active else 0
+        cached = info.last_stats
+        if cached is not None:
+            return replace(cached, errors=max(cached.errors, penalty))
         return QueryStats(query_id=info.query_id, engine=info.engine_kind,
-                          errors=1 if not info.active else 0)
+                          errors=penalty)
 
     # -- RPC core ------------------------------------------------------
+    def _shard_instruments(self, shard: int) -> Tuple:
+        """Lazily bound per-shard instruments (metrics must be on):
+        ``(busy histogram, edges counter, tx bytes, rx bytes,
+        roundtrips)``."""
+        cached = self._shard_obs[shard]
+        if cached is None:
+            obs = self.metrics
+            label = str(shard)
+            cached = self._shard_obs[shard] = (
+                obs.histogram("cluster_worker_busy_seconds",
+                              "worker-side dispatch time per request",
+                              shard=label),
+                obs.counter("cluster_worker_edges_total",
+                            "edges ingested by the shard worker",
+                            shard=label),
+                obs.counter("cluster_tx_bytes_total",
+                            "request bytes shipped to the shard",
+                            shard=label),
+                obs.counter("cluster_rx_bytes_total",
+                            "reply bytes received from the shard",
+                            shard=label),
+                obs.counter("cluster_roundtrips_total",
+                            "request/reply exchanges with the shard",
+                            shard=label),
+            )
+        return cached
+
     def _post(self, handle: _WorkerHandle, message) -> None:
         """Ship one message (binary frames as raw bytes, everything
-        else pickled)."""
+        else pickled).  With metrics on, control messages are pickled
+        here instead of inside ``Connection.send`` — the worker's
+        ``recv_bytes`` + sniff loop reads both identically — so the tx
+        byte counter sees every request, not just binary frames."""
         if isinstance(message, bytes):
-            handle.conn.send_bytes(message)
+            data = message
+        elif self.metrics is not None:
+            data = pickle.dumps(message)
         else:
             handle.conn.send(message)
+            return
+        handle.conn.send_bytes(data)
+        if self.metrics is not None:
+            self._shard_instruments(handle.index)[2].inc(len(data))
 
     def _receive(self, handle: _WorkerHandle) -> Reply:
         """Read one reply, sniffing binary frames by magic prefix."""
         data = handle.conn.recv_bytes()
+        if self.metrics is not None:
+            self._shard_instruments(handle.index)[3].inc(len(data))
         if wire.is_reply_frame(data):
             return wire.decode_reply(data, self._intern_names)
         return pickle.loads(data)
 
-    def _account(self, reply: Reply) -> None:
+    def _account(self, reply: Reply, shard: int) -> None:
         """Fold a reply's piggybacked bookkeeping into the mirror."""
         self._apply_errors(reply.errors)
         self.stats.events_routed += reply.routed
         self.stats.events_skipped += reply.skipped
+        self.shard_routed[shard] += reply.routed
+        self.shard_skipped[shard] += reply.skipped
+        if self.metrics is not None:
+            instruments = self._shard_instruments(shard)
+            instruments[4].inc()
+            if reply.metrics:
+                # Positional deltas (see protocol.Reply.metrics):
+                # worker busy nanoseconds, then edges ingested.
+                instruments[0].observe(reply.metrics[0] / 1e9)
+                if len(reply.metrics) > 1:
+                    instruments[1].inc(reply.metrics[1])
 
     def _request(self, shard: int, message) -> Reply:
         """One request/reply exchange with one worker."""
@@ -717,7 +925,7 @@ class ShardedMatchService:
             raise WorkerCrashError(
                 f"shard {shard} worker died mid-request "
                 f"({type(exc).__name__})") from exc
-        self._account(reply)
+        self._account(reply, shard)
         if reply.failure is not None:
             raise make_exception(reply.failure)
         return reply
@@ -729,6 +937,8 @@ class ShardedMatchService:
         their batches concurrently; a worker that dies at either step
         is quarantined and simply missing from the result.
         """
+        obs = self.metrics
+        exchange_start = time.perf_counter() if obs is not None else 0.0
         sent: List[_WorkerHandle] = []
         for shard, message in messages.items():
             handle = self._workers[shard]
@@ -739,6 +949,9 @@ class ShardedMatchService:
                 sent.append(handle)
             except (OSError, BrokenPipeError) as exc:
                 self._quarantine_shard(handle.index, exc)
+        if obs is not None:
+            # Peak pipe depth: replies outstanding once sends complete.
+            self._g_inflight.set(len(sent))
         replies: Dict[int, Reply] = {}
         failure = None
         for handle in sent:
@@ -747,11 +960,14 @@ class ShardedMatchService:
             except (EOFError, OSError, ConnectionResetError) as exc:
                 self._quarantine_shard(handle.index, exc)
                 continue
-            self._account(reply)
+            self._account(reply, handle.index)
             if reply.failure is not None:
                 failure = failure or reply.failure
             else:
                 replies[handle.index] = reply
+        if obs is not None:
+            self._g_inflight.set(0)
+            self._h_exchange.observe(time.perf_counter() - exchange_start)
         if failure is not None:
             raise make_exception(failure)
         return replies
@@ -769,6 +985,11 @@ class ShardedMatchService:
             return
         handle.alive = False
         self._routing_cache = None
+        if self.metrics is not None:
+            self.metrics.counter(
+                "cluster_worker_crashes_total",
+                "shard workers lost to a dead pipe",
+                shard=str(shard)).inc()
         try:
             handle.conn.close()
         except OSError:
@@ -798,6 +1019,8 @@ class ShardedMatchService:
     def _collect(self, replies: Dict[int, Reply]
                  ) -> List[MatchNotification]:
         """Merge per-shard notification lists into global event order."""
+        obs = self.metrics
+        merge_start = time.perf_counter() if obs is not None else 0.0
         notifications: List[MatchNotification] = []
         for reply in replies.values():
             notifications.extend(reply.payload)
@@ -807,6 +1030,8 @@ class ShardedMatchService:
             notifications.sort(key=lambda n: (
                 n.event.time, n.event.is_arrival, n.seq,
                 reg_index.get(n.query_id, -1)))
+        if obs is not None:
+            self._h_merge.observe(time.perf_counter() - merge_start)
         return notifications
 
     def _deliver(self, notifications: List[MatchNotification]) -> None:

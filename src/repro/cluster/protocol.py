@@ -131,6 +131,14 @@ class Reply:
     skipped: int = 0
     interest: Optional[InterestSummary] = None
     failure: Optional[Tuple[str, str]] = None
+    #: Positional integer metric deltas piggybacked on every reply so
+    #: the coordinator's observability layer sees worker-side cost
+    #: without extra round trips or new verbs: index 0 is the
+    #: nanoseconds the worker spent dispatching this request, index 1
+    #: the edges it ingested while doing so.  Extendable by appending
+    #: (consumers index defensively); empty when a worker predates the
+    #: field or has nothing to report.
+    metrics: Tuple[int, ...] = ()
 
 
 #: Exception types a worker may legitimately propagate to the caller.

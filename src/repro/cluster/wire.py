@@ -130,8 +130,11 @@ def encode_reply(reply: Reply,
     notes = reply.payload
     if type(notes) is not list:
         return None
-    values = array("q", (reply.routed, reply.skipped, len(notes)))
     try:
+        values = array("q", (reply.routed, reply.skipped,
+                             len(reply.metrics)))
+        values.extend(reply.metrics)
+        values.append(len(notes))
         for note in notes:
             event = note.event
             edge = event.edge
@@ -154,9 +157,11 @@ def decode_reply(data: bytes, names: List[str]) -> Reply:
     """Unpack a binary reply frame (``names`` maps codes to ids)."""
     values = array("q")
     values.frombytes(data[4:])
-    routed, skipped, count = values[0], values[1], values[2]
+    routed, skipped, n_metrics = values[0], values[1], values[2]
+    metrics = tuple(values[3:3 + n_metrics])
+    count = values[3 + n_metrics]
     notes: List[MatchNotification] = []
-    i = 3
+    i = 4 + n_metrics
     for _ in range(count):
         (code, arrival, u, v, t, time, seq,
          num_vertices, num_edges) = values[i:i + 9]
@@ -172,7 +177,8 @@ def decode_reply(data: bytes, names: List[str]) -> Reply:
                   EventKind.ARRIVAL if arrival else EventKind.EXPIRATION),
             Match(vertex_map=vertex_map, edge_map=edge_map),
             seq))
-    return Reply(payload=notes, routed=routed, skipped=skipped)
+    return Reply(payload=notes, routed=routed, skipped=skipped,
+                 metrics=metrics)
 
 
 __all__ = [

@@ -26,6 +26,7 @@ Failure layers, innermost first:
 from __future__ import annotations
 
 import pickle
+import time
 from typing import Dict, Tuple
 
 from repro.cluster import protocol, wire
@@ -37,15 +38,31 @@ from repro.service.stats import QueryStats
 
 
 class ShardWorker:
-    """Dispatcher around one shard's :class:`MatchService`."""
+    """Dispatcher around one shard's :class:`MatchService`.
 
-    def __init__(self, delta: int, routed: bool = True):
-        self.service = MatchService(delta, routed=routed)
+    With ``metrics=True`` the worker owns a full
+    :class:`~repro.obs.MetricsRegistry` wired into its inner service
+    (per-query engine-time and match-delta histograms, stage spans);
+    its snapshot rides back on the existing ``STATS`` verb, and every
+    reply piggybacks two integer deltas — dispatch busy-nanoseconds and
+    edges ingested — so the coordinator's per-shard latency histograms
+    stay current without new IPC verbs.
+    """
+
+    def __init__(self, delta: int, routed: bool = True,
+                 metrics: bool = False):
+        self.metrics = None
+        if metrics:
+            from repro.obs import MetricsRegistry
+            self.metrics = MetricsRegistry()
+        self.service = MatchService(delta, routed=routed,
+                                    metrics=self.metrics)
         # Quarantines already reported (or initiated by the
         # coordinator): only *new* errors ride back on replies.
         self._reported: set = set()
         self._routed_seen = 0
         self._skipped_seen = 0
+        self._edges_seen = 0
         #: Interned query-id codes (synced by the coordinator's INTERN
         #: verb) used to pack binary ingest replies.
         self.codes: Dict[str, int] = {}
@@ -93,7 +110,8 @@ class ShardWorker:
             return None
         if verb == protocol.STATS:
             return (service.stats,
-                    {e.query_id: e.stats for e in service.registry.list()})
+                    {e.query_id: e.stats for e in service.registry.list()},
+                    self.metrics.snapshot() if self.metrics else {})
         if verb == protocol.SNAPSHOT:
             return service_checkpoint.snapshot(service)
         if verb == protocol.STOP:
@@ -154,6 +172,16 @@ class ShardWorker:
         delta, self._skipped_seen = current - self._skipped_seen, current
         return delta
 
+    def metric_deltas(self, busy_ns: int) -> Tuple[int, ...]:
+        """The positional metric tuple to piggyback on the next reply
+        (see :class:`~repro.cluster.protocol.Reply`); empty when
+        metrics are off so pre-metrics frames stay byte-identical."""
+        if self.metrics is None:
+            return ()
+        current = self.service.stats.edges_ingested
+        edges, self._edges_seen = current - self._edges_seen, current
+        return (busy_ns, edges)
+
     def interest_for(self, verb: str):
         """The refreshed shard interest summary to piggyback, for verbs
         that change query membership (None otherwise)."""
@@ -162,7 +190,8 @@ class ShardWorker:
         return None
 
 
-def shard_worker_main(conn, delta: int, routed: bool = True) -> None:
+def shard_worker_main(conn, delta: int, routed: bool = True,
+                      metrics: bool = False) -> None:
     """Worker process entry point: strict request/reply loop.
 
     Requests arrive either as pickle streams (control verbs) or as
@@ -170,7 +199,7 @@ def shard_worker_main(conn, delta: int, routed: bool = True) -> None:
     prefix); binary requests get binary replies whenever the reply is
     packable, with pickle as the transparent fallback.
     """
-    worker = ShardWorker(delta, routed=routed)
+    worker = ShardWorker(delta, routed=routed, metrics=metrics)
     while True:
         try:
             data = conn.recv_bytes()
@@ -181,17 +210,22 @@ def shard_worker_main(conn, delta: int, routed: bool = True) -> None:
             verb, payload = wire.decode_request(data)
         else:
             verb, payload = pickle.loads(data)
+        dispatch_start = time.perf_counter_ns()
         try:
             result = worker.dispatch(verb, payload)
             reply = Reply(payload=result, errors=worker.new_errors(),
                           routed=worker.routed_delta(),
                           skipped=worker.skipped_delta(),
-                          interest=worker.interest_for(verb))
+                          interest=worker.interest_for(verb),
+                          metrics=worker.metric_deltas(
+                              time.perf_counter_ns() - dispatch_start))
         except Exception as exc:  # noqa: BLE001 - request-level boundary
             reply = Reply(errors=worker.new_errors(),
                           routed=worker.routed_delta(),
                           skipped=worker.skipped_delta(),
-                          failure=(type(exc).__name__, str(exc)))
+                          failure=(type(exc).__name__, str(exc)),
+                          metrics=worker.metric_deltas(
+                              time.perf_counter_ns() - dispatch_start))
         frame = wire.encode_reply(reply, worker.codes) if binary else None
         try:
             if frame is not None:

@@ -1,0 +1,32 @@
+"""Observability: metrics registry, exporters, and host metadata.
+
+``repro.obs`` is the measurement substrate of the whole pipeline — a
+dependency-free metrics registry (monotonic counters, gauges, and
+fixed-bucket histograms with p50/p95/p99 summaries) plus a lightweight
+span-timer API, with two exporters: :meth:`MetricsRegistry.snapshot`
+renders a nested JSON-ready dict, and :func:`render_prometheus` the
+Prometheus text exposition format.
+
+Every instrumented component (:class:`~repro.streaming.driver.
+StreamDriver`, :class:`~repro.service.MatchService`,
+:class:`~repro.cluster.ShardedMatchService`) takes an optional
+``metrics`` registry and defaults to ``None`` — with metrics disabled
+the hot path performs no metric work at all (a handful of ``is None``
+checks per *batch*, never per event), so the throughput trajectory
+pinned by the BENCH artifacts is unaffected.
+"""
+
+from repro.obs.hostinfo import host_metadata
+from repro.obs.metrics import (
+    Counter, Gauge, Histogram, LATENCY_BUCKETS, MetricsRegistry,
+    SIZE_BUCKETS, merge_snapshots,
+)
+from repro.obs.promtext import parse_prometheus, render_prometheus
+from repro.obs.validate import validate_snapshot
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "LATENCY_BUCKETS",
+    "MetricsRegistry", "SIZE_BUCKETS", "host_metadata",
+    "merge_snapshots", "parse_prometheus", "render_prometheus",
+    "validate_snapshot",
+]

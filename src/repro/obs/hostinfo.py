@@ -1,0 +1,28 @@
+"""Host metadata for benchmark artifacts.
+
+BENCH_*.json files pin the performance trajectory across PRs, but an
+events/sec number is only comparable when you know what machine
+produced it.  :func:`host_metadata` captures the stable facts — Python
+version and implementation, platform string, CPU count — as a small
+JSON-ready dict embedded in every benchmark report and metrics
+artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from typing import Dict
+
+
+def host_metadata() -> Dict[str, object]:
+    """Python/platform/CPU facts of the current host (JSON-ready)."""
+    return {
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "executable": os.path.basename(sys.executable or "python"),
+    }

@@ -1,0 +1,148 @@
+"""Prometheus text exposition rendering (and a conformance parser).
+
+:func:`render_prometheus` turns a :class:`~repro.obs.metrics.
+MetricsRegistry` (or its snapshot dict) into the text exposition format
+version 0.0.4 — ``# HELP`` / ``# TYPE`` headers, one sample per line,
+histogram series expanded into ``_bucket``/``_sum``/``_count`` with
+cumulative ``le`` buckets.  No client library is involved: the format
+is a stable line protocol and the whole point of this repo's
+observability layer is to stay dependency-free.
+
+:func:`parse_prometheus` is the inverse used by the conformance tests
+and the CI metrics-smoke gate: it re-reads an exposition into
+``{sample_key: value}`` plus the declared types, raising
+``ValueError`` on any malformed line.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)$")
+_LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _unescape_label(value: str) -> str:
+    return (value.replace("\\\\", "\0").replace('\\"', '"')
+            .replace("\\n", "\n").replace("\0", "\\"))
+
+
+def _label_block(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{key}="{_escape_label(str(value))}"'
+             for key, value in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def render_prometheus(metrics) -> str:
+    """Render a registry or snapshot dict as a text exposition."""
+    snapshot = (metrics if isinstance(metrics, dict)
+                else metrics.snapshot())
+    lines = []
+    for name in sorted(snapshot):
+        metric = snapshot[name]
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        if metric["help"]:
+            lines.append(f"# HELP {name} {_escape_help(metric['help'])}")
+        lines.append(f"# TYPE {name} {metric['kind']}")
+        for series in metric["series"]:
+            labels = series["labels"]
+            if metric["kind"] == "histogram":
+                for bound, cumulative in series["buckets"]:
+                    le = ("+Inf" if bound == "+Inf"
+                          else _format_value(float(bound)))
+                    block = _label_block(labels, f'le="{le}"')
+                    lines.append(f"{name}_bucket{block} {cumulative}")
+                block = _label_block(labels)
+                lines.append(
+                    f"{name}_sum{block} {_format_value(series['sum'])}")
+                lines.append(f"{name}_count{block} {series['count']}")
+            else:
+                block = _label_block(labels)
+                lines.append(
+                    f"{name}{block} {_format_value(series['value'])}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Tuple[Dict[str, float],
+                                         Dict[str, str]]:
+    """Parse an exposition back into ``(samples, types)``.
+
+    ``samples`` maps the full sample key (name plus its rendered label
+    block, labels in sorted order) to the float value; ``types`` maps
+    metric names to their declared type.  Malformed lines raise
+    ``ValueError`` — the parser is deliberately strict, it exists to
+    *verify* expositions, not to tolerate them.
+    """
+    samples: Dict[str, float] = {}
+    types: Dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4 or not _NAME_RE.match(parts[2]):
+                raise ValueError(f"line {lineno}: malformed TYPE {raw!r}")
+            if parts[3] not in ("counter", "gauge", "histogram",
+                                "summary", "untyped"):
+                raise ValueError(
+                    f"line {lineno}: unknown type {parts[3]!r}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # HELP and comments
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {raw!r}")
+        label_text = match.group("labels")
+        labels: Dict[str, str] = {}
+        if label_text:
+            found = list(_LABEL_RE.finditer(label_text))
+            rebuilt = ",".join(m.group(0) for m in found)
+            if rebuilt != label_text.rstrip(","):
+                raise ValueError(
+                    f"line {lineno}: malformed labels {raw!r}")
+            for m in found:
+                labels[m.group("key")] = _unescape_label(
+                    m.group("value"))
+        raw_value = match.group("value")
+        if raw_value == "+Inf":
+            value = math.inf
+        elif raw_value == "-Inf":
+            value = -math.inf
+        else:
+            try:
+                value = float(raw_value)
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: malformed value {raw!r}") from None
+        key = match.group("name") + _label_block(labels)
+        samples[key] = value
+    return samples, types

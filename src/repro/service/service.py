@@ -121,7 +121,8 @@ class MatchService:
     def __init__(self, delta: int, *,
                  registry: Optional[QueryRegistry] = None,
                  engine_factories: Optional[Dict[str, EngineFactory]] = None,
-                 routed: bool = True):
+                 routed: bool = True,
+                 metrics=None):
         if delta <= 0:
             raise ValueError("window size delta must be positive")
         self.delta = delta
@@ -131,6 +132,32 @@ class MatchService:
         self._live: Deque[Tuple[Edge, int]] = deque()  # (edge, arrival seq)
         self._now: Optional[int] = None
         self._seq = 0
+        #: Optional :class:`~repro.obs.MetricsRegistry`.  ``None`` (the
+        #: default) disables all metric work: the fan-out loops guard
+        #: every observation behind ``is None`` checks, so the
+        #: metrics-off hot path is byte-for-byte the uninstrumented
+        #: one.  With a registry, per-stage spans (route/dispatch/
+        #: notify), per-query engine-time and match-delta histograms
+        #: are observed live, and a snapshot-time collector mirrors
+        #: the Service/Query/Engine counters into the registry.
+        self.metrics = metrics
+        self._obs = metrics
+        if metrics is not None:
+            self._h_ingest = metrics.histogram(
+                "service_ingest_seconds",
+                "seconds per service ingest/advance/drain call")
+            self._h_route = metrics.histogram(
+                "service_route_seconds",
+                "seconds resolving per-batch interest routing")
+            self._h_notify = metrics.histogram(
+                "service_notify_seconds",
+                "seconds recording results and firing subscribers")
+            from repro.obs import SIZE_BUCKETS
+            self._h_batch_events = metrics.histogram(
+                "service_batch_events", "events per fanned-out batch",
+                SIZE_BUCKETS)
+            self._query_hists: Dict[str, Tuple] = {}
+            metrics.add_collector(self._export_metrics)
 
     # ------------------------------------------------------------------
     # Registration façade
@@ -216,7 +243,10 @@ class MatchService:
                 self.stats.edges_ingested += 1
         finally:
             self.stats.batches += 1
-            self.stats.elapsed_seconds += time.perf_counter() - start
+            spent = time.perf_counter() - start
+            self.stats.elapsed_seconds += spent
+            if self._obs is not None:
+                self._h_ingest.observe(spent)
         return notifications
 
     def process_batch(self, edges: Iterable[Edge]
@@ -253,7 +283,10 @@ class MatchService:
                 self._fanout_batch(events, notifications)
         finally:
             self.stats.batches += 1
-            self.stats.elapsed_seconds += time.perf_counter() - start
+            spent = time.perf_counter() - start
+            self.stats.elapsed_seconds += spent
+            if self._obs is not None:
+                self._h_ingest.observe(spent)
         if failure is not None:
             raise OutOfOrderError(failure, notifications)
         return notifications
@@ -290,11 +323,17 @@ class MatchService:
         is tallied as skipped without touching the engine.
         """
         registry = self.registry
+        obs = self._obs
         entries = [entry for entry in registry.entries() if entry.active]
         interest_sets = None
         if self.routed:
+            route_start = time.perf_counter() if obs is not None else 0.0
             lookup = registry.interest.lookup_ids
             interest_sets = [lookup(ev.edge) for ev, _ in events]
+            if obs is not None:
+                self._h_route.observe(time.perf_counter() - route_start)
+        if obs is not None:
+            self._h_batch_events.observe(len(events))
         per_entry: Dict[str, Dict[int, List[Match]]] = {}
         for entry in entries:
             joined = entry.joined_seq
@@ -335,7 +374,17 @@ class MatchService:
                 entry.mark_errored(exc)
                 self.stats.errored_queries += 1
             finally:
-                stats.elapsed_seconds += time.perf_counter() - began
+                spent = time.perf_counter() - began
+                stats.elapsed_seconds += spent
+                if obs is not None:
+                    engine_hist, delta_hist = self._query_observers(
+                        entry.query_id)
+                    engine_hist.observe(spent)
+                    matched = per_entry.get(entry.query_id)
+                    if matched is not None:
+                        delta_hist.observe(sum(
+                            len(m) for m in matched.values()))
+        notify_start = time.perf_counter() if obs is not None else 0.0
         # Route in global event order, registry order within an event —
         # exactly the order the per-event path emits.
         for ev, seq in events:
@@ -376,6 +425,8 @@ class MatchService:
             if entry.result is not None and entry.query_id in per_entry:
                 entry.result.events_processed += len(per_entry[
                     entry.query_id])
+        if obs is not None:
+            self._h_notify.observe(time.perf_counter() - notify_start)
 
     def ingest_routed(self, pairs: List[Tuple[Edge, int]],
                       final_now: int, final_seq: int, *,
@@ -433,7 +484,10 @@ class MatchService:
             self._seq = final_seq
         finally:
             self.stats.batches += 1
-            self.stats.elapsed_seconds += time.perf_counter() - start
+            spent = time.perf_counter() - start
+            self.stats.elapsed_seconds += spent
+            if self._obs is not None:
+                self._h_ingest.observe(spent)
         return notifications
 
     def advance_to(self, t: int) -> List[MatchNotification]:
@@ -482,6 +536,7 @@ class MatchService:
         """Route one event to every eligible query, isolating failures."""
         arrival = event.is_arrival
         registry = self.registry
+        obs = self._obs
         interested = (registry.interest.lookup_ids(event.edge)
                       if self.routed else None)
         service_stats = self.stats
@@ -504,6 +559,7 @@ class MatchService:
                 continue
             self.stats.events_routed += 1
             stats = entry.stats
+            matches = None
             began = time.perf_counter()
             try:
                 if arrival:
@@ -537,4 +593,104 @@ class MatchService:
                 entry.mark_errored(exc)
                 self.stats.errored_queries += 1
             finally:
-                stats.elapsed_seconds += time.perf_counter() - began
+                spent = time.perf_counter() - began
+                stats.elapsed_seconds += spent
+                if obs is not None:
+                    engine_hist, delta_hist = self._query_observers(
+                        entry.query_id)
+                    engine_hist.observe(spent)
+                    if matches is not None:
+                        delta_hist.observe(len(matches))
+
+    # ------------------------------------------------------------------
+    # Metrics export
+    # ------------------------------------------------------------------
+    def _query_observers(self, query_id: str) -> Tuple:
+        """Per-query (engine-seconds, match-delta) histogram pair,
+        created on first use and cached (the fan-out loops observe into
+        these on every dispatch when metrics are enabled)."""
+        pair = self._query_hists.get(query_id)
+        if pair is None:
+            from repro.obs import SIZE_BUCKETS
+            pair = (
+                self._obs.histogram(
+                    "service_engine_seconds",
+                    "seconds spent inside one query's engine per "
+                    "dispatch", query=query_id),
+                self._obs.histogram(
+                    "service_match_delta",
+                    "matches (occurrences + expirations) reported per "
+                    "dispatch", SIZE_BUCKETS, query=query_id),
+            )
+            self._query_hists[query_id] = pair
+        return pair
+
+    def _export_metrics(self) -> None:
+        """Snapshot-time collector: mirror the counters the service and
+        its queries already maintain into the metrics registry.
+
+        Runs only inside :meth:`~repro.obs.MetricsRegistry.snapshot`,
+        so the mirrored counters (service totals, per-query stats, and
+        the engine-stage :class:`~repro.streaming.engine.EngineStats`)
+        cost the hot path nothing.
+        """
+        obs = self._obs
+        stats = self.stats
+        for name, value, help_text in (
+                ("service_edges_ingested_total", stats.edges_ingested,
+                 "edges ingested by the service"),
+                ("service_batches_total", stats.batches,
+                 "ingest batches processed"),
+                ("service_events_routed_total", stats.events_routed,
+                 "(event, query) engine dispatches"),
+                ("service_events_skipped_total", stats.events_skipped,
+                 "(event, query) dispatches pruned by the interest "
+                 "index"),
+                ("service_errored_queries_total", stats.errored_queries,
+                 "query quarantines"),
+                ("service_elapsed_seconds_total", stats.elapsed_seconds,
+                 "cumulative wall-clock seconds spent serving")):
+            obs.counter(name, help_text).set_total(value)
+        obs.gauge("service_live_edges",
+                  "edges currently inside the window").set(
+                      len(self._live))
+        obs.gauge("service_registered_queries",
+                  "queries currently registered").set(len(self.registry))
+        for entry in self.registry.entries():
+            labels = {"query": entry.query_id,
+                      "engine": entry.engine_kind}
+            qstats = entry.stats
+            obs.counter("query_events_processed_total",
+                        "events dispatched to this query's engine",
+                        **labels).set_total(qstats.events_processed)
+            obs.counter("query_events_skipped_total",
+                        "events interest-pruned before this query's "
+                        "engine", **labels).set_total(
+                            qstats.events_skipped)
+            obs.counter("query_matches_total",
+                        "match deltas reported (occurrences + "
+                        "expirations)", **labels).set_total(
+                            qstats.matches)
+            obs.counter("query_engine_seconds_total",
+                        "wall-clock seconds inside this query's engine",
+                        **labels).set_total(qstats.elapsed_seconds)
+            obs.counter("query_errors_total", "query failures",
+                        **labels).set_total(qstats.errors)
+            if not entry.engine_started:
+                continue
+            estats = entry.engine.stats
+            obs.counter("engine_backtrack_nodes_total",
+                        "search-tree node expansions",
+                        **labels).set_total(estats.backtrack_nodes)
+            obs.counter("engine_matches_emitted_total",
+                        "matches emitted by the engine",
+                        **labels).set_total(estats.matches_emitted)
+            obs.counter("engine_candidates_pruned_total",
+                        "candidates pruned by the engine's filters",
+                        **labels).set_total(estats.candidates_pruned)
+            obs.counter("engine_batches_processed_total",
+                        "on_batch calls absorbed by the engine",
+                        **labels).set_total(estats.batches_processed)
+            obs.gauge("engine_peak_structure_entries",
+                      "high-water mark of stored index entries",
+                      **labels).set(estats.peak_structure_entries)

@@ -60,12 +60,17 @@ class StreamDriver:
 
     def __init__(self, engine: MatchEngine,
                  time_limit: Optional[float] = None,
-                 batch_size: Optional[int] = None):
+                 batch_size: Optional[int] = None,
+                 metrics=None):
         if batch_size is not None and batch_size < 1:
             raise ValueError("batch_size must be positive")
         self.engine = engine
         self.time_limit = time_limit
         self.batch_size = batch_size
+        #: Optional :class:`~repro.obs.MetricsRegistry`.  ``None`` (the
+        #: default) keeps the hot loops untouched: the driver only
+        #: consults it at run/chunk granularity, never per event.
+        self.metrics = metrics
 
     def run_edges(self, edges: Iterable[Edge], delta: int) -> StreamResult:
         """Build the event list for ``edges`` with window ``delta`` and run."""
@@ -90,11 +95,13 @@ class StreamDriver:
                     result.expired.extend((event, m) for m in matches)
                 result.events_processed += 1
         else:
+            budget_checks = 0
             for index, event in enumerate(events):
-                if (index & check_mask == 0
-                        and time.perf_counter() - start > limit):
-                    result.timed_out = True
-                    break
+                if index & check_mask == 0:
+                    budget_checks += 1
+                    if time.perf_counter() - start > limit:
+                        result.timed_out = True
+                        break
                 if event.is_arrival:
                     matches = engine.on_edge_insert(event.edge)
                     result.occurred.extend((event, m) for m in matches)
@@ -103,6 +110,10 @@ class StreamDriver:
                     result.expired.extend((event, m) for m in matches)
                 result.events_processed += 1
         result.elapsed_seconds = time.perf_counter() - start
+        if self.metrics is not None:
+            self._record_run(result,
+                             budget_checks=(0 if limit is None
+                                            else budget_checks))
         return result
 
     def _run_batched(self, events: Iterable[Event]) -> StreamResult:
@@ -112,18 +123,58 @@ class StreamDriver:
         engine = self.engine
         limit = self.time_limit
         step = self.batch_size
+        obs = self.metrics
+        batch_events = batch_seconds = None
+        if obs is not None:
+            from repro.obs import SIZE_BUCKETS
+            batch_events = obs.histogram(
+                "driver_batch_events", "events per driver chunk",
+                SIZE_BUCKETS, engine=engine.name)
+            batch_seconds = obs.histogram(
+                "driver_batch_seconds", "seconds per driver chunk",
+                engine=engine.name)
         events = list(events)
+        budget_checks = 0
         start = time.perf_counter()
         for lo in range(0, len(events), step):
-            if limit is not None and time.perf_counter() - start > limit:
-                result.timed_out = True
-                break
+            if limit is not None:
+                budget_checks += 1
+                if time.perf_counter() - start > limit:
+                    result.timed_out = True
+                    break
             chunk = events[lo:lo + step]
-            for event, matches in zip(chunk, engine.on_batch(chunk)):
+            chunk_start = (time.perf_counter() if obs is not None
+                           else 0.0)
+            matches_lists = engine.on_batch(chunk)
+            if obs is not None:
+                batch_seconds.observe(time.perf_counter() - chunk_start)
+                batch_events.observe(len(chunk))
+            for event, matches in zip(chunk, matches_lists):
                 if event.is_arrival:
                     result.occurred.extend((event, m) for m in matches)
                 else:
                     result.expired.extend((event, m) for m in matches)
             result.events_processed += len(chunk)
         result.elapsed_seconds = time.perf_counter() - start
+        if obs is not None:
+            self._record_run(result, budget_checks=budget_checks)
         return result
+
+    def _record_run(self, result: StreamResult,
+                    budget_checks: int) -> None:
+        """Fold one finished run into the metrics registry."""
+        obs = self.metrics
+        engine = self.engine.name
+        obs.counter("driver_events_total",
+                    "events dispatched by the stream driver",
+                    engine=engine).inc(result.events_processed)
+        obs.counter("driver_budget_checks_total",
+                    "wall-clock budget checks performed",
+                    engine=engine).inc(budget_checks)
+        if result.timed_out:
+            obs.counter("driver_timeouts_total",
+                        "runs cut short by the time budget",
+                        engine=engine).inc()
+        obs.histogram("driver_run_seconds",
+                      "wall-clock seconds per driver run",
+                      engine=engine).observe(result.elapsed_seconds)
