@@ -103,7 +103,8 @@ def dataset_workload(config: MultiQueryConfig) -> Tuple[object,
 
 
 def build_service(config: MultiQueryConfig, engine: str = "tcm",
-                  stream=None, graph: Optional[TemporalGraph] = None):
+                  stream=None, graph: Optional[TemporalGraph] = None,
+                  metrics=None, tracer=None):
     """Generate the stream and a registered service for ``config``.
 
     Returns ``(service, stream)``; all ``config.num_queries`` queries
@@ -112,6 +113,9 @@ def build_service(config: MultiQueryConfig, engine: str = "tcm",
     CLI's checkpoint demo, tests) can drive ingestion themselves.
     ``stream``/``graph`` optionally reuse an already-generated workload
     (the scaling sweep replays one stream across every cell).
+    ``metrics`` passes a caller-owned registry to the service (used
+    instead of the fresh one ``config.metrics`` would create);
+    ``tracer`` attaches a :class:`~repro.obs.Tracer`.
 
     With ``config.workers > 1`` the returned service is a
     :class:`~repro.cluster.ShardedMatchService`; the caller owns its
@@ -128,18 +132,19 @@ def build_service(config: MultiQueryConfig, engine: str = "tcm",
               f"requested queries could be generated on "
               f"{config.dataset!r} (random walks kept failing)",
               file=sys.stderr)
-    registry = None
-    if config.metrics:
+    registry = metrics
+    if registry is None and config.metrics:
         from repro.obs import MetricsRegistry
         registry = MetricsRegistry()
     if config.workers > 1:
         from repro.cluster import ShardedMatchService
         service = ShardedMatchService(
             config.delta, workers=config.workers, routed=config.routed,
-            placement=config.placement, metrics=registry)
+            placement=config.placement, metrics=registry,
+            tracer=tracer)
     else:
         service = MatchService(config.delta, routed=config.routed,
-                               metrics=registry)
+                               metrics=registry, tracer=tracer)
     for instance in instances:
         service.register(instance.query, stream.labels, engine,
                          edge_label_fn=stream.edge_label_fn(),
@@ -152,7 +157,10 @@ def run_multi_query(config: Optional[MultiQueryConfig] = None,
                     checkpoint_path: Optional[str] = None,
                     stream=None,
                     graph: Optional[TemporalGraph] = None,
-                    progress: Optional[Callable] = None) -> MultiQueryRun:
+                    progress: Optional[Callable] = None,
+                    tracer=None,
+                    on_service: Optional[Callable] = None
+                    ) -> MultiQueryRun:
     """Drive a freshly built service over its stream in batches.
 
     ``checkpoint_path`` optionally saves a JSON snapshot of the final
@@ -162,11 +170,17 @@ def run_multi_query(config: Optional[MultiQueryConfig] = None,
     ``progress(service, edges_done, edges_total)`` — the CLI's
     ``--metrics`` live table hangs off it; note it runs inside the
     timed region, so leave it ``None`` for throughput measurements.
+    ``tracer`` attaches a :class:`~repro.obs.Tracer` to the service;
+    ``on_service`` is called once with the freshly built service before
+    ingestion starts (the CLI wires the admin endpoint here).
     """
     config = config or MultiQueryConfig()
-    service, stream = build_service(config, engine, stream, graph)
+    service, stream = build_service(config, engine, stream, graph,
+                                    tracer=tracer)
     sharded = config.workers > 1
     try:
+        if on_service is not None:
+            on_service(service)
         if checkpoint_path is not None and stream.edge_labels is not None:
             # The per-run edge-label dict lives only in this process; a
             # checkpoint of these queries could never be restored (restore

@@ -82,9 +82,12 @@ def _workloads(config: ThroughputConfig):
 
 
 def _drive_once(engine_name: str, stream, instances, delta: int,
-                batch_size: Optional[int]) -> Tuple[int, float, int, int]:
+                batch_size: Optional[int],
+                metrics=None) -> Tuple[int, float, int, int]:
     """One pass over every query of one dataset; returns
-    (events, seconds, backtrack nodes, peak structure entries)."""
+    (events, seconds, backtrack nodes, peak structure entries).
+    ``metrics`` optionally instruments every driver with one shared
+    registry (the ``bench --metrics`` artifact)."""
     events = 0
     backtrack = 0
     peak = 0
@@ -92,7 +95,8 @@ def _drive_once(engine_name: str, stream, instances, delta: int,
     for instance in instances:
         engine = make_engine(engine_name, instance.query, stream.labels,
                              stream.edge_label_fn())
-        driver = StreamDriver(engine, batch_size=batch_size)
+        driver = StreamDriver(engine, batch_size=batch_size,
+                              metrics=metrics)
         result = driver.run_edges(stream.edges, delta)
         events += result.events_processed
         elapsed += result.elapsed_seconds
@@ -101,9 +105,15 @@ def _drive_once(engine_name: str, stream, instances, delta: int,
     return events, elapsed, backtrack, peak
 
 
-def measure_single(config: Optional[ThroughputConfig] = None
-                   ) -> Dict[str, object]:
-    """Single-query engine throughput, per-event vs batched."""
+def measure_single(config: Optional[ThroughputConfig] = None,
+                   metrics=None) -> Dict[str, object]:
+    """Single-query engine throughput, per-event vs batched.
+
+    ``metrics`` optionally collects driver-level instrumentation into
+    one shared registry across every cell; leave ``None`` for clean
+    timing runs (the registry costs the driver a few per-chunk
+    observations).
+    """
     config = config or ThroughputConfig()
     workloads = _workloads(config)
     engines: Dict[str, object] = {}
@@ -120,7 +130,8 @@ def measure_single(config: Optional[ThroughputConfig] = None
                 best: Optional[Tuple[int, float, int, int]] = None
                 for _ in range(config.repeats):
                     sample = _drive_once(engine_name, stream, instances,
-                                         config.delta, batch_size)
+                                         config.delta, batch_size,
+                                         metrics=metrics)
                     if best is None or sample[1] < best[1]:
                         best = sample
                 events, seconds, nodes, ds_peak = best
@@ -162,7 +173,8 @@ def measure_single(config: Optional[ThroughputConfig] = None
 
 def measure_selectivity(config: Optional[ThroughputConfig] = None,
                         num_queries: int = 32,
-                        overlap: float = 0.25) -> Dict[str, object]:
+                        overlap: float = 0.25,
+                        metrics=None) -> Dict[str, object]:
     """Routed vs broadcast service ingest on a low-overlap workload.
 
     Drives one :class:`~repro.service.MatchService` per mode over the
@@ -192,7 +204,8 @@ def measure_selectivity(config: Optional[ThroughputConfig] = None,
     for mode, routed in (("broadcast", False), ("routed", True)):
         best: Optional[Dict[str, object]] = None
         for _ in range(config.repeats):
-            service = MatchService(delta, routed=routed)
+            service = MatchService(delta, routed=routed,
+                                   metrics=metrics)
             for query in workload.queries:
                 service.register(query, workload.labels, "tcm",
                                  collect_results=False)
@@ -270,10 +283,13 @@ def format_selectivity(reports: Sequence[Dict[str, object]]) -> str:
 
 
 def measure_multi(config: Optional[ThroughputConfig] = None,
-                  num_queries: int = 4) -> Dict[str, object]:
+                  num_queries: int = 4,
+                  metrics=None) -> Dict[str, object]:
     """Multi-query service throughput, per-event ingest vs
     process_batch, on the first configured dataset — plus the
-    routed-vs-broadcast selectivity cell (32 queries, 25% overlap)."""
+    routed-vs-broadcast selectivity cell (32 queries, 25% overlap).
+    ``metrics`` optionally instruments every measured service with one
+    shared registry."""
     config = config or ThroughputConfig()
     dataset = config.datasets[0]
     mconfig = MultiQueryConfig(
@@ -285,7 +301,8 @@ def measure_multi(config: Optional[ThroughputConfig] = None,
     for mode in ("per_event", "batched"):
         best: Optional[Dict[str, object]] = None
         for _ in range(config.repeats):
-            service, stream = build_service(mconfig, "tcm")
+            service, stream = build_service(mconfig, "tcm",
+                                            metrics=metrics)
             edges = stream.edges
             step = max(1, mconfig.batch_size)
             start = time.perf_counter()
@@ -332,7 +349,7 @@ def measure_multi(config: Optional[ThroughputConfig] = None,
             "repeats": config.repeats,
         },
         "service": modes,
-        "selectivity": measure_selectivity(config),
+        "selectivity": measure_selectivity(config, metrics=metrics),
     }
 
 

@@ -144,8 +144,24 @@ def build_parser() -> argparse.ArgumentParser:
                          "stream ingests, then write metrics.json and "
                          "metrics.prom artifacts")
     pm.add_argument("--metrics-dir", default=".", metavar="DIR",
-                    help="where the --metrics artifacts are written "
-                         "(default: current directory)")
+                    help="where the --metrics/--trace artifacts are "
+                         "written (default: current directory)")
+    pm.add_argument("--trace", action="store_true",
+                    help="trace the run: every batch becomes a span "
+                         "tree (coordinator stages + per-shard worker "
+                         "spans when --workers >1); writes a Chrome "
+                         "trace_event JSON (load at ui.perfetto.dev) "
+                         "and a slow-batch JSONL log to --metrics-dir")
+    pm.add_argument("--slow-ms", type=float, default=250.0,
+                    metavar="MS",
+                    help="with --trace, batches slower than this land "
+                         "in slow_batches.jsonl with their span tree "
+                         "inline (default 250)")
+    pm.add_argument("--admin-port", type=int, default=None, metavar="N",
+                    help="serve the live admin endpoint on "
+                         "127.0.0.1:N while the stream ingests "
+                         "(/metrics /healthz /varz /tracez; 0 binds "
+                         "an ephemeral port)")
 
     pb = sub.add_parser(
         "bench", help="throughput micro-harness (BENCH_*.json)")
@@ -183,6 +199,15 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="FRAC",
                     help="fail when events/sec drops more than this "
                          "fraction below the baseline (default 0.30)")
+    pb.add_argument("--metrics", action="store_true",
+                    help="collect driver/service instrumentation for "
+                         "the whole harness into one registry and "
+                         "write metrics.json / metrics.prom next to "
+                         "the BENCH reports (adds per-chunk metric "
+                         "work to the measured runs)")
+    pb.add_argument("--metrics-dir", default=None, metavar="DIR",
+                    help="where the bench --metrics artifacts are "
+                         "written (default: --output-dir)")
     return parser
 
 
@@ -207,9 +232,13 @@ def _run_bench(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     os.makedirs(args.output_dir, exist_ok=True)
+    registry = None
+    if args.metrics:
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
     reports = {}
     if "single" in args.mode:
-        report = measure_single(config)
+        report = measure_single(config, metrics=registry)
         if args.reference:
             with open(args.reference) as handle:
                 reference = json.load(handle)
@@ -238,7 +267,8 @@ def _run_bench(args) -> int:
                          f"seed per-event")
             print(line)
     if "multi" in args.mode:
-        report = measure_multi(config, num_queries=max(args.queries, 2))
+        report = measure_multi(config, num_queries=max(args.queries, 2),
+                               metrics=registry)
         path = os.path.join(args.output_dir, "BENCH_multi.json")
         write_report(report, path)
         reports[path] = report
@@ -258,6 +288,10 @@ def _run_bench(args) -> int:
               f"events/s ({selectivity['routed_speedup']:.2f}x)")
     for path in reports:
         print(f"wrote {path}")
+    if registry is not None:
+        out_dir = args.metrics_dir or args.output_dir
+        for path in _write_metrics(registry.snapshot(), out_dir):
+            print(f"wrote {path}")
     status = 0
     for baseline_path in args.baseline or ():
         with open(baseline_path) as handle:
@@ -317,10 +351,76 @@ def _live_metrics_table(ticks: int = 5):
     return progress
 
 
-def _write_metrics(run, out_dir: str) -> List[str]:
-    """Write a run's merged snapshot as ``metrics.json`` (host metadata
-    + metric families) and ``metrics.prom`` (Prometheus text
-    exposition); returns the written paths."""
+def _run_multi_single(args, mconfig) -> int:
+    """The ``multi`` subcommand's single-run path: one service
+    lifetime, optionally metered (``--metrics``), traced (``--trace``)
+    and scraped live (``--admin-port``)."""
+    import json
+    import os
+
+    tracer = server = None
+    if args.trace:
+        from repro.obs import SlowLog, Tracer
+        os.makedirs(args.metrics_dir, exist_ok=True)
+        slowlog = SlowLog(
+            args.slow_ms / 1000.0,
+            path=os.path.join(args.metrics_dir, "slow_batches.jsonl"))
+        tracer = Tracer(max_finished=50_000, slowlog=slowlog)
+    if args.admin_port is not None:
+        from repro.obs.server import AdminServer
+        server = AdminServer(tracer=tracer, port=args.admin_port)
+    table = _live_metrics_table() if args.metrics else None
+
+    def progress(service, done: int, total: int) -> None:
+        if table is not None:
+            table(service, done, total)
+        if server is not None and service.metrics is not None:
+            # The admin thread never talks to the workers itself; the
+            # ingest loop publishes a merged snapshot between batches
+            # for /metrics to serve.
+            server.publish(service.metrics_snapshot()
+                           if hasattr(service, "metrics_snapshot")
+                           else service.metrics.snapshot())
+
+    def on_service(service) -> None:
+        server.registry = getattr(service, "metrics", None)
+        server.health = service.health
+        port = server.start()
+        print(f"admin endpoint at http://127.0.0.1:{port}/")
+
+    try:
+        run = run_multi_query(
+            mconfig, args.engine,
+            checkpoint_path=args.checkpoint,
+            progress=(progress if table is not None or server is not None
+                      else None),
+            tracer=tracer,
+            on_service=on_service if server is not None else None)
+    finally:
+        if server is not None:
+            server.stop()
+    print(format_multi_run(run))
+    if args.metrics:
+        for path in _write_metrics(run.metrics, args.metrics_dir):
+            print(f"wrote {path}")
+    if tracer is not None:
+        trace_path = os.path.join(args.metrics_dir, "trace.json")
+        with open(trace_path, "w") as handle:
+            json.dump(tracer.chrome_trace(), handle)
+            handle.write("\n")
+        slow = tracer.slowlog.total
+        print(f"wrote {trace_path} ({len(tracer.finished)} spans, "
+              f"{tracer.dropped} dropped, {slow} slow batches over "
+              f"{args.slow_ms:g} ms)")
+    if args.checkpoint:
+        print(f"checkpoint saved to {args.checkpoint}")
+    return 0
+
+
+def _write_metrics(snapshot, out_dir: str) -> List[str]:
+    """Write a metrics snapshot as ``metrics.json`` (host metadata +
+    metric families) and ``metrics.prom`` (Prometheus text exposition);
+    returns the written paths."""
     import json
     import os
 
@@ -329,12 +429,12 @@ def _write_metrics(run, out_dir: str) -> List[str]:
     os.makedirs(out_dir, exist_ok=True)
     json_path = os.path.join(out_dir, "metrics.json")
     with open(json_path, "w") as handle:
-        json.dump({"host": host_metadata(), "metrics": run.metrics},
+        json.dump({"host": host_metadata(), "metrics": snapshot},
                   handle, indent=2, sort_keys=True)
         handle.write("\n")
     prom_path = os.path.join(out_dir, "metrics.prom")
     with open(prom_path, "w") as handle:
-        handle.write(render_prometheus(run.metrics))
+        handle.write(render_prometheus(snapshot))
     return [json_path, prom_path]
 
 
@@ -398,21 +498,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                           "artifacts describe one service lifetime)",
                           file=sys.stderr)
                     return 2
+                if args.trace or args.admin_port is not None:
+                    print("error: --trace/--admin-port apply to a "
+                          "single run, not a --scaling sweep",
+                          file=sys.stderr)
+                    return 2
                 runs = multi_query_scaling([args.engine], args.scaling,
                                            mconfig,
                                            worker_counts=args.workers)
                 print(format_scaling(runs))
             else:
-                progress = _live_metrics_table() if args.metrics else None
-                run = run_multi_query(mconfig, args.engine,
-                                      checkpoint_path=args.checkpoint,
-                                      progress=progress)
-                print(format_multi_run(run))
-                if args.metrics:
-                    for path in _write_metrics(run, args.metrics_dir):
-                        print(f"wrote {path}")
-                if args.checkpoint:
-                    print(f"checkpoint saved to {args.checkpoint}")
+                return _run_multi_single(args, mconfig)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

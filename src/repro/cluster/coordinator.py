@@ -75,6 +75,7 @@ from repro.cluster.protocol import (
 )
 from repro.cluster.worker import shard_worker_main
 from repro.graph.temporal_graph import Edge
+from repro.obs.trace import maybe_span, unpack_spans
 from repro.query.temporal_query import TemporalQuery
 from repro.service.interest import InterestSummary, query_pattern_keys
 from repro.service.registry import QueryStatus
@@ -166,12 +167,22 @@ class ShardedMatchService:
     def __init__(self, delta: int, *, workers: int = 2,
                  start_method: Optional[str] = None, batched: bool = True,
                  routed: bool = True, binary: bool = True,
-                 placement: str = "least_loaded", metrics=None):
+                 placement: str = "least_loaded", metrics=None,
+                 tracer=None):
         if delta <= 0:
             raise ValueError("window size delta must be positive")
         if workers < 1:
             raise ValueError("need at least one worker")
         self.delta = delta
+        #: Optional :class:`~repro.obs.Tracer`.  When set, every ingest
+        #: batch opens a ``cluster_ingest`` root span with
+        #: route/ship/exchange/merge children, workers trace their own
+        #: dispatch (context rides the existing request frames, spans
+        #: return packed inside ``Reply.metrics``), and adopted worker
+        #: spans land here under per-shard display tracks.  ``None``
+        #: (the default) keeps every frame byte-identical to the
+        #: untraced wire.
+        self.tracer = tracer
         #: Optional :class:`~repro.obs.MetricsRegistry`.  When set, the
         #: coordinator instruments its RPC plane (per-shard wire bytes,
         #: round trips, worker busy time from the piggybacked reply
@@ -247,7 +258,8 @@ class ShardedMatchService:
             parent_conn, child_conn = ctx.Pipe()
             process = ctx.Process(
                 target=shard_worker_main,
-                args=(child_conn, delta, routed, metrics is not None),
+                args=(child_conn, delta, routed, metrics is not None,
+                      tracer is not None),
                 name=f"repro-shard-{index}", daemon=True)
             process.start()
             child_conn.close()
@@ -460,23 +472,32 @@ class ShardedMatchService:
         edges = list(edges)
         start = time.perf_counter()
         obs = self.metrics
+        tracer = self.tracer
+        root = maybe_span(tracer, "cluster_ingest",
+                          events=len(edges)).__enter__()
+        ctx = ((root.trace_id, root.span_id) if tracer is not None
+               else None)
         try:
             prefix, failure = self._validated_prefix(edges)
             notifications: List[MatchNotification] = []
             if prefix:
                 if self.routed:
+                    route_start = (time.perf_counter()
+                                   if obs is not None else 0.0)
+                    with maybe_span(tracer, "route", parent=root):
+                        messages = self._route_batch(prefix, ctx)
                     if obs is not None:
-                        route_start = time.perf_counter()
-                        messages = self._route_batch(prefix)
                         self._h_route.observe(
                             time.perf_counter() - route_start)
-                    else:
-                        messages = self._route_batch(prefix)
-                    replies = self._exchange(messages)
+                    replies = self._exchange(messages, parent=root)
                 else:
                     if self.binary:
                         message = wire.encode_ingest(
-                            prefix, batched=self.batched)
+                            prefix, batched=self.batched, trace=ctx)
+                    elif ctx is not None:
+                        verb = (protocol.INGEST_BATCH if self.batched
+                                else protocol.INGEST)
+                        message = (verb, prefix, ctx)
                     else:
                         verb = (protocol.INGEST_BATCH if self.batched
                                 else protocol.INGEST)
@@ -484,13 +505,14 @@ class ShardedMatchService:
                     for handle in self._workers:
                         if handle.alive:
                             self.shard_shipped[handle.index] += len(prefix)
-                    replies = self._broadcast(message)
-                notifications = self._collect(replies)
+                    replies = self._broadcast(message, parent=root)
+                notifications = self._collect(replies, parent=root)
                 self._now = prefix[-1].t
                 self._seq += len(prefix)
                 self.stats.edges_ingested += len(prefix)
             self._deliver(notifications)
         finally:
+            root.__exit__(None, None, None)
             spent = time.perf_counter() - start
             self.stats.batches += 1
             self.stats.elapsed_seconds += spent
@@ -501,7 +523,9 @@ class ShardedMatchService:
             raise OutOfOrderError(failure, notifications)
         return notifications
 
-    def _route_batch(self, prefix: List[Edge]) -> Dict[int, object]:
+    def _route_batch(self, prefix: List[Edge],
+                     ctx: Optional[Tuple[int, int]] = None
+                     ) -> Dict[int, object]:
         """Split ``prefix`` into per-shard messages by interest.
 
         Every edge is offered to each live shard's interest summary;
@@ -545,7 +569,11 @@ class ShardedMatchService:
             if self.binary:
                 messages[shard] = wire.encode_routed(
                     sub_batch, final_now, final_seq,
-                    batched=self.batched)
+                    batched=self.batched, trace=ctx)
+            elif ctx is not None:
+                messages[shard] = (protocol.INGEST_ROUTED, RoutedBatch(
+                    tuple(sub_batch), final_now, final_seq,
+                    self.batched), ctx)
             else:
                 messages[shard] = (protocol.INGEST_ROUTED, RoutedBatch(
                     tuple(sub_batch), final_now, final_seq,
@@ -602,8 +630,10 @@ class ShardedMatchService:
         for due in self._shard_expiries:
             while due and due[0] <= t:
                 due.popleft()
-        notifications = self._collect(
-            self._broadcast((protocol.ADVANCE, t)))
+        with maybe_span(self.tracer, "cluster_advance") as root:
+            message = self._control_message(protocol.ADVANCE, t, root)
+            notifications = self._collect(
+                self._broadcast(message, parent=root), parent=root)
         self._deliver(notifications)
         self.stats.elapsed_seconds += time.perf_counter() - start
         return notifications
@@ -615,8 +645,10 @@ class ShardedMatchService:
         start = time.perf_counter()
         for due in self._shard_expiries:
             due.clear()
-        notifications = self._collect(
-            self._broadcast((protocol.DRAIN, None)))
+        with maybe_span(self.tracer, "cluster_drain") as root:
+            message = self._control_message(protocol.DRAIN, None, root)
+            notifications = self._collect(
+                self._broadcast(message, parent=root), parent=root)
         self._deliver(notifications)
         self.stats.elapsed_seconds += time.perf_counter() - start
         return notifications
@@ -684,6 +716,30 @@ class ShardedMatchService:
             if worker_snap:
                 merge_snapshots(snap, worker_snap, shard=str(shard))
         return snap
+
+    def health(self) -> Dict[str, object]:
+        """Per-shard liveness summary, answered from the coordinator's
+        own mirror — no worker round trips, so the admin server's
+        thread can call it concurrently with a live ingest
+        (:class:`repro.obs.server.AdminServer` wires it to
+        ``/healthz``).  ``status`` is ``"ok"`` while every shard worker
+        is alive, else ``"degraded"``."""
+        infos = list(self._queries.values())
+        shards = []
+        for handle in self._workers:
+            queries = sum(1 for info in infos
+                          if info.shard == handle.index)
+            errored = sum(1 for info in infos
+                          if info.shard == handle.index
+                          and not info.active)
+            shards.append({"shard": handle.index,
+                           "alive": handle.alive,
+                           "queries": queries,
+                           "errored_queries": errored})
+        live = sum(1 for s in shards if s["alive"])
+        return {"status": "ok" if live == len(shards) else "degraded",
+                "workers": len(shards), "live_workers": live,
+                "closed": self._closed, "shards": shards}
 
     def _export_metrics(self) -> None:
         """Snapshot-time collector: mirror the coordinator's plain
@@ -910,6 +966,12 @@ class ShardedMatchService:
                 instruments[0].observe(reply.metrics[0] / 1e9)
                 if len(reply.metrics) > 1:
                     instruments[1].inc(reply.metrics[1])
+        if self.tracer is not None and len(reply.metrics) > 2:
+            # Packed worker spans ride from index 2; adopt them onto
+            # the shard's display track.
+            for span in unpack_spans(reply.metrics, 2):
+                span.tid = shard + 1
+                self.tracer.adopt(span)
 
     def _request(self, shard: int, message) -> Reply:
         """One request/reply exchange with one worker."""
@@ -930,15 +992,23 @@ class ShardedMatchService:
             raise make_exception(reply.failure)
         return reply
 
-    def _exchange(self, messages: Dict[int, object]) -> Dict[int, Reply]:
+    def _exchange(self, messages: Dict[int, object],
+                  parent=None) -> Dict[int, Reply]:
         """Send per-shard messages, then collect the replies.
 
         Sends complete before the first receive, so workers process
         their batches concurrently; a worker that dies at either step
-        is quarantined and simply missing from the result.
+        is quarantined and simply missing from the result.  ``parent``
+        (a live span) nests an ``exchange`` span with a ``ship`` child
+        around the send-all phase; control exchanges pass no parent and
+        produce no spans.
         """
         obs = self.metrics
+        tracer = self.tracer if parent is not None else None
         exchange_start = time.perf_counter() if obs is not None else 0.0
+        span = maybe_span(tracer, "exchange", parent=parent,
+                          shards=len(messages)).__enter__()
+        ship = maybe_span(tracer, "ship", parent=span).__enter__()
         sent: List[_WorkerHandle] = []
         for shard, message in messages.items():
             handle = self._workers[shard]
@@ -949,6 +1019,7 @@ class ShardedMatchService:
                 sent.append(handle)
             except (OSError, BrokenPipeError) as exc:
                 self._quarantine_shard(handle.index, exc)
+        ship.__exit__(None, None, None)
         if obs is not None:
             # Peak pipe depth: replies outstanding once sends complete.
             self._g_inflight.set(len(sent))
@@ -965,6 +1036,7 @@ class ShardedMatchService:
                 failure = failure or reply.failure
             else:
                 replies[handle.index] = reply
+        span.__exit__(None, None, None)
         if obs is not None:
             self._g_inflight.set(0)
             self._h_exchange.observe(time.perf_counter() - exchange_start)
@@ -972,11 +1044,19 @@ class ShardedMatchService:
             raise make_exception(failure)
         return replies
 
-    def _broadcast(self, message) -> Dict[int, Reply]:
+    def _broadcast(self, message, parent=None) -> Dict[int, Reply]:
         """Send ``message`` to every live worker, then collect replies."""
         return self._exchange({handle.index: message
                                for handle in self._workers
-                               if handle.alive})
+                               if handle.alive}, parent=parent)
+
+    def _control_message(self, verb: str, payload: object, root):
+        """The pickled control tuple for ``verb``: a traced 3-tuple
+        carrying ``(trace id, span id)`` only when ``root`` is a live
+        span, so untraced control messages pickle byte-identically."""
+        if self.tracer is not None and root.span_id:
+            return (verb, payload, (root.trace_id, root.span_id))
+        return (verb, payload)
 
     def _quarantine_shard(self, shard: int, cause: BaseException) -> None:
         """A worker died: flip its shard and every query on it."""
@@ -1016,20 +1096,22 @@ class ShardedMatchService:
             self.stats.errored_queries += 1
 
     # -- merge + delivery ----------------------------------------------
-    def _collect(self, replies: Dict[int, Reply]
-                 ) -> List[MatchNotification]:
+    def _collect(self, replies: Dict[int, Reply],
+                 parent=None) -> List[MatchNotification]:
         """Merge per-shard notification lists into global event order."""
         obs = self.metrics
+        tracer = self.tracer if parent is not None else None
         merge_start = time.perf_counter() if obs is not None else 0.0
-        notifications: List[MatchNotification] = []
-        for reply in replies.values():
-            notifications.extend(reply.payload)
-        if len(replies) > 1:
-            reg_index = {query_id: info.reg_index
-                         for query_id, info in self._queries.items()}
-            notifications.sort(key=lambda n: (
-                n.event.time, n.event.is_arrival, n.seq,
-                reg_index.get(n.query_id, -1)))
+        with maybe_span(tracer, "merge", parent=parent):
+            notifications: List[MatchNotification] = []
+            for reply in replies.values():
+                notifications.extend(reply.payload)
+            if len(replies) > 1:
+                reg_index = {query_id: info.reg_index
+                             for query_id, info in self._queries.items()}
+                notifications.sort(key=lambda n: (
+                    n.event.time, n.event.is_arrival, n.seq,
+                    reg_index.get(n.query_id, -1)))
         if obs is not None:
             self._h_merge.observe(time.perf_counter() - merge_start)
         return notifications

@@ -135,9 +135,12 @@ class Reply:
     #: the coordinator's observability layer sees worker-side cost
     #: without extra round trips or new verbs: index 0 is the
     #: nanoseconds the worker spent dispatching this request, index 1
-    #: the edges it ingested while doing so.  Extendable by appending
-    #: (consumers index defensively); empty when a worker predates the
-    #: field or has nothing to report.
+    #: the edges it ingested while doing so.  With tracing on, the
+    #: worker's completed spans follow from index 2, packed as ints by
+    #: :func:`repro.obs.trace.pack_spans` (a count, then fixed-width
+    #: records).  Extendable by appending (consumers index
+    #: defensively); empty when a worker predates the field or has
+    #: nothing to report.
     metrics: Tuple[int, ...] = ()
 
 

@@ -15,6 +15,12 @@ directions are packed into flat ``array('q')`` frames instead:
 * **replies** (:func:`encode_reply`) carry the notification stream with
   query ids replaced by interned integer codes.
 
+Distributed tracing rides the same frames: a traced request sets a
+flag bit on the mode byte and prepends the ``(trace id, parent span
+id)`` context as two more ints, and workers return their completed
+spans packed inside the reply's generic metrics tuple — no new frame
+kinds, and untraced frames are byte-identical to the pre-tracing wire.
+
 The only strings of the exchange — query ids — are interned: the
 coordinator assigns each id a code at registration time and syncs it to
 the owning worker via the :data:`~repro.cluster.protocol.INTERN` verb
@@ -54,6 +60,13 @@ _MODE_INGEST_BATCH = 1
 _MODE_ROUTED = 2
 _MODE_ROUTED_BATCH = 3
 
+#: Mode-byte flag: the frame carries a trace context — two extra ints
+#: ``(trace id, parent span id)`` prepended to the value array (see
+#: :mod:`repro.obs.trace`).  Untraced frames never set the flag, so
+#: with tracing off every frame is byte-identical to the pre-tracing
+#: wire.
+_FLAG_TRACED = 0x80
+
 
 def is_request_frame(data: bytes) -> bool:
     """True when ``data`` is a binary request frame (else: pickle)."""
@@ -68,47 +81,73 @@ def is_reply_frame(data: bytes) -> bool:
 # ----------------------------------------------------------------------
 # Requests (coordinator -> worker)
 # ----------------------------------------------------------------------
-def encode_ingest(edges: Sequence[Edge], *, batched: bool) -> bytes:
-    """A broadcast ingest frame: ``[n, u, v, t, ...]``."""
+def encode_ingest(edges: Sequence[Edge], *, batched: bool,
+                  trace: Optional[Tuple[int, int]] = None) -> bytes:
+    """A broadcast ingest frame: ``[n, u, v, t, ...]``.
+
+    ``trace`` optionally prepends a ``(trace id, parent span id)``
+    context (flagged on the mode byte); ``None`` produces the exact
+    pre-tracing frame bytes.
+    """
     mode = _MODE_INGEST_BATCH if batched else _MODE_INGEST
-    values = array("q", chain((len(edges),), chain.from_iterable(edges)))
+    head: Tuple[int, ...] = (len(edges),)
+    if trace is not None:
+        mode |= _FLAG_TRACED
+        head = trace + head
+    values = array("q", chain(head, chain.from_iterable(edges)))
     return MAGIC_REQUEST + bytes((mode,)) + values.tobytes()
 
 
 def encode_routed(pairs: Sequence[Tuple[Edge, int]], final_now: int,
-                  final_seq: int, *, batched: bool) -> bytes:
+                  final_seq: int, *, batched: bool,
+                  trace: Optional[Tuple[int, int]] = None) -> bytes:
     """A routed sub-batch frame: the closing cursor, then
     ``[n, u, v, t, seq, ...]`` (``n`` may be zero for a pure
-    clock-advance frame that only flushes due expirations)."""
+    clock-advance frame that only flushes due expirations).  ``trace``
+    as in :func:`encode_ingest`."""
     mode = _MODE_ROUTED_BATCH if batched else _MODE_ROUTED
-    values = array("q", (final_now, final_seq, len(pairs)))
+    head: Tuple[int, ...] = (final_now, final_seq, len(pairs))
+    if trace is not None:
+        mode |= _FLAG_TRACED
+        head = trace + head
+    values = array("q", head)
     for edge, seq in pairs:
         values.extend(edge)
         values.append(seq)
     return MAGIC_REQUEST + bytes((mode,)) + values.tobytes()
 
 
-def decode_request(data: bytes) -> Tuple[str, object]:
-    """Decode a request frame back to a ``(verb, payload)`` pair with
-    the exact shapes the pickled protocol uses."""
+def decode_request(data: bytes) -> Tuple[str, object,
+                                         Optional[Tuple[int, int]]]:
+    """Decode a request frame to ``(verb, payload, trace_ctx)`` with
+    the exact payload shapes the pickled protocol uses; ``trace_ctx``
+    is the ``(trace id, parent span id)`` pair of a traced frame, else
+    ``None``."""
     mode = data[4]
     values = array("q")
     values.frombytes(data[5:])
+    trace: Optional[Tuple[int, int]] = None
+    base = 0
+    if mode & _FLAG_TRACED:
+        mode &= ~_FLAG_TRACED
+        trace = (values[0], values[1])
+        base = 2
     if mode in (_MODE_INGEST, _MODE_INGEST_BATCH):
-        n = values[0]
+        n = values[base]
         edges = [Edge(values[i], values[i + 1], values[i + 2])
-                 for i in range(1, 1 + 3 * n, 3)]
+                 for i in range(base + 1, base + 1 + 3 * n, 3)]
         verb = (protocol.INGEST_BATCH if mode == _MODE_INGEST_BATCH
                 else protocol.INGEST)
-        return verb, edges
+        return verb, edges, trace
     if mode in (_MODE_ROUTED, _MODE_ROUTED_BATCH):
-        final_now, final_seq, n = values[0], values[1], values[2]
+        final_now, final_seq, n = (values[base], values[base + 1],
+                                   values[base + 2])
         pairs = [(Edge(values[i], values[i + 1], values[i + 2]),
                   values[i + 3])
-                 for i in range(3, 3 + 4 * n, 4)]
+                 for i in range(base + 3, base + 3 + 4 * n, 4)]
         return protocol.INGEST_ROUTED, RoutedBatch(
             pairs=tuple(pairs), final_now=final_now, final_seq=final_seq,
-            batched=mode == _MODE_ROUTED_BATCH)
+            batched=mode == _MODE_ROUTED_BATCH), trace
     raise ValueError(f"unknown request frame mode {mode}")
 
 

@@ -31,10 +31,22 @@ from typing import Dict, Tuple
 
 from repro.cluster import protocol, wire
 from repro.cluster.protocol import QueryFinalState, RegisterSpec, Reply
+from repro.obs.trace import Tracer, pack_spans
 from repro.service import checkpoint as service_checkpoint
 from repro.service.registry import QueryStatus
 from repro.service.service import MatchService
 from repro.service.stats import QueryStats
+
+#: Ingest-path verbs a worker wraps in a span when tracing is on (the
+#: span is parented on the request's piggybacked trace context and
+#: ships back inside the reply's metrics tuple).
+_TRACED_VERBS = {
+    protocol.INGEST: "shard_ingest",
+    protocol.INGEST_BATCH: "shard_ingest",
+    protocol.INGEST_ROUTED: "shard_ingest",
+    protocol.ADVANCE: "shard_advance",
+    protocol.DRAIN: "shard_drain",
+}
 
 
 class ShardWorker:
@@ -50,11 +62,14 @@ class ShardWorker:
     """
 
     def __init__(self, delta: int, routed: bool = True,
-                 metrics: bool = False):
+                 metrics: bool = False, tracing: bool = False):
         self.metrics = None
         if metrics:
             from repro.obs import MetricsRegistry
             self.metrics = MetricsRegistry()
+        # A worker tracer only ever holds the spans of the request in
+        # flight (they drain onto every reply), so a small buffer does.
+        self.tracer = Tracer(max_finished=64) if tracing else None
         self.service = MatchService(delta, routed=routed,
                                     metrics=self.metrics)
         # Quarantines already reported (or initiated by the
@@ -172,11 +187,15 @@ class ShardWorker:
         delta, self._skipped_seen = current - self._skipped_seen, current
         return delta
 
-    def metric_deltas(self, busy_ns: int) -> Tuple[int, ...]:
+    def metric_deltas(self, busy_ns: int,
+                      force: bool = False) -> Tuple[int, ...]:
         """The positional metric tuple to piggyback on the next reply
         (see :class:`~repro.cluster.protocol.Reply`); empty when
-        metrics are off so pre-metrics frames stay byte-identical."""
-        if self.metrics is None:
+        metrics are off so pre-metrics frames stay byte-identical.
+        ``force`` emits the pair even with metrics off — packed spans
+        ride at indices 2+, so a traced reply always needs the first
+        two slots filled."""
+        if self.metrics is None and not force:
             return ()
         current = self.service.stats.edges_ingested
         edges, self._edges_seen = current - self._edges_seen, current
@@ -191,41 +210,61 @@ class ShardWorker:
 
 
 def shard_worker_main(conn, delta: int, routed: bool = True,
-                      metrics: bool = False) -> None:
+                      metrics: bool = False,
+                      tracing: bool = False) -> None:
     """Worker process entry point: strict request/reply loop.
 
     Requests arrive either as pickle streams (control verbs) or as
     packed binary frames (the ingest hot path, sniffed by magic
     prefix); binary requests get binary replies whenever the reply is
-    packable, with pickle as the transparent fallback.
+    packable, with pickle as the transparent fallback.  With
+    ``tracing`` on, ingest-path requests carrying a trace context get
+    a shard-side span whose packed form rides back on the reply's
+    metrics tuple.
     """
-    worker = ShardWorker(delta, routed=routed, metrics=metrics)
+    worker = ShardWorker(delta, routed=routed, metrics=metrics,
+                         tracing=tracing)
+    tracer = worker.tracer
     while True:
         try:
             data = conn.recv_bytes()
         except (EOFError, KeyboardInterrupt):
             break
         binary = wire.is_request_frame(data)
+        ctx = None
         if binary:
-            verb, payload = wire.decode_request(data)
+            verb, payload, ctx = wire.decode_request(data)
         else:
-            verb, payload = pickle.loads(data)
+            message = pickle.loads(data)
+            verb, payload = message[0], message[1]
+            if len(message) > 2:
+                ctx = message[2]
+        name = _TRACED_VERBS.get(verb) if tracer is not None else None
+        span = (tracer.span(name, remote=ctx).__enter__()
+                if name is not None and ctx is not None else None)
         dispatch_start = time.perf_counter_ns()
         try:
             result = worker.dispatch(verb, payload)
+            failure = None
+        except Exception as exc:  # noqa: BLE001 - request-level boundary
+            result, failure = None, (type(exc).__name__, str(exc))
+        busy_ns = time.perf_counter_ns() - dispatch_start
+        if span is not None:
+            span.__exit__(None, None, None)
+        extra = (pack_spans(tracer.take_finished())
+                 if tracer is not None else ())
+        deltas = worker.metric_deltas(busy_ns, force=bool(extra)) + extra
+        if failure is None:
             reply = Reply(payload=result, errors=worker.new_errors(),
                           routed=worker.routed_delta(),
                           skipped=worker.skipped_delta(),
                           interest=worker.interest_for(verb),
-                          metrics=worker.metric_deltas(
-                              time.perf_counter_ns() - dispatch_start))
-        except Exception as exc:  # noqa: BLE001 - request-level boundary
+                          metrics=deltas)
+        else:
             reply = Reply(errors=worker.new_errors(),
                           routed=worker.routed_delta(),
                           skipped=worker.skipped_delta(),
-                          failure=(type(exc).__name__, str(exc)),
-                          metrics=worker.metric_deltas(
-                              time.perf_counter_ns() - dispatch_start))
+                          failure=failure, metrics=deltas)
         frame = wire.encode_reply(reply, worker.codes) if binary else None
         try:
             if frame is not None:

@@ -7,26 +7,41 @@ span-timer API, with two exporters: :meth:`MetricsRegistry.snapshot`
 renders a nested JSON-ready dict, and :func:`render_prometheus` the
 Prometheus text exposition format.
 
+Three further layers ride on the same zero-cost pattern: a distributed
+:class:`~repro.obs.trace.Tracer` (per-batch root spans with stage and
+per-shard children, Chrome ``trace_event`` export — see
+:mod:`repro.obs.trace`), the slow-batch structured log
+(:mod:`repro.obs.slowlog`), and the live admin/scrape HTTP endpoint
+(:class:`repro.obs.server.AdminServer`).
+
 Every instrumented component (:class:`~repro.streaming.driver.
 StreamDriver`, :class:`~repro.service.MatchService`,
 :class:`~repro.cluster.ShardedMatchService`) takes an optional
-``metrics`` registry and defaults to ``None`` — with metrics disabled
-the hot path performs no metric work at all (a handful of ``is None``
-checks per *batch*, never per event), so the throughput trajectory
-pinned by the BENCH artifacts is unaffected.
+``metrics`` registry (and an optional ``tracer``) and defaults to
+``None`` — with observability disabled the hot path performs no metric
+or span work at all (a handful of ``is None`` checks per *batch*,
+never per event), so the throughput trajectory pinned by the BENCH
+artifacts is unaffected.
 """
 
-from repro.obs.hostinfo import host_metadata
+from repro.obs.hostinfo import host_metadata, register_process_collectors
 from repro.obs.metrics import (
     Counter, Gauge, Histogram, LATENCY_BUCKETS, MetricsRegistry,
     SIZE_BUCKETS, merge_snapshots,
 )
 from repro.obs.promtext import parse_prometheus, render_prometheus
+from repro.obs.slowlog import SlowLog
+from repro.obs.trace import Span, Tracer, maybe_span
 from repro.obs.validate import validate_snapshot
+
+# The admin HTTP endpoint lives in repro.obs.server (imported
+# explicitly — ``from repro.obs.server import AdminServer`` — so that
+# importing the metrics substrate never drags in http.server).
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "LATENCY_BUCKETS",
-    "MetricsRegistry", "SIZE_BUCKETS", "host_metadata",
-    "merge_snapshots", "parse_prometheus", "render_prometheus",
-    "validate_snapshot",
+    "MetricsRegistry", "SIZE_BUCKETS", "SlowLog", "Span", "Tracer",
+    "host_metadata", "maybe_span", "merge_snapshots",
+    "parse_prometheus", "register_process_collectors",
+    "render_prometheus", "validate_snapshot",
 ]

@@ -189,10 +189,17 @@ class MetricsRegistry:
     entirely off the hot path.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, process_metrics: bool = True) -> None:
         self._series: Dict[SeriesKey, object] = {}
         self._meta: Dict[str, Tuple[str, str]] = {}  # name -> (kind, help)
         self._collectors: List[Callable[[], None]] = []
+        if process_metrics:
+            # Standard process self-metrics (RSS, CPU seconds, open
+            # fds) on every registry: snapshot-time collectors only, so
+            # the hot path never sees them; sharded runs merge each
+            # worker's copy under its shard label.
+            from repro.obs.hostinfo import register_process_collectors
+            register_process_collectors(self)
 
     # ------------------------------------------------------------------
     # Instrument access (get-or-create)
@@ -285,6 +292,13 @@ def merge_snapshots(target: Dict[str, object], source: Dict[str, object],
     coordinator adds ``shard="N"`` to each worker's series), so merged
     snapshots stay renderable by :func:`repro.obs.promtext.
     render_prometheus` with no collisions.  Returns ``target``.
+
+    A merge that would corrupt the result raises :class:`ValueError`
+    instead of silently producing an unrenderable snapshot: a kind
+    mismatch within one family, histogram series whose bucket bounds
+    disagree with the family's, or a source series whose merged labels
+    exactly collide with a series already in the target (the caller
+    forgot a disambiguating extra label).
     """
     extras = {key: str(value) for key, value in extra_labels.items()}
     for name, metric in source.items():
@@ -295,8 +309,28 @@ def merge_snapshots(target: Dict[str, object], source: Dict[str, object],
             raise ValueError(
                 f"metric {name!r} kind mismatch: "
                 f"{existing['kind']} vs {metric['kind']}")
+        seen = {tuple(sorted(s["labels"].items()))
+                for s in existing["series"]}
+        bounds = None
+        if metric["kind"] == "histogram" and existing["series"]:
+            bounds = [b for b, _ in existing["series"][0]["buckets"]]
         for series in metric["series"]:
             merged = dict(series)
             merged["labels"] = {**series["labels"], **extras}
+            key = tuple(sorted(merged["labels"].items()))
+            if key in seen:
+                raise ValueError(
+                    f"metric {name!r}: merged series collides on "
+                    f"labels {merged['labels']!r} (pass disambiguating "
+                    f"extra labels)")
+            seen.add(key)
+            if metric["kind"] == "histogram":
+                series_bounds = [b for b, _ in series["buckets"]]
+                if bounds is None:
+                    bounds = series_bounds
+                elif series_bounds != bounds:
+                    raise ValueError(
+                        f"metric {name!r}: histogram bucket bounds "
+                        f"mismatch across merged series")
             existing["series"].append(merged)
     return target

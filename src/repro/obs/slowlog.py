@@ -1,0 +1,71 @@
+"""Slow-batch structured log: JSON lines with the span tree inline.
+
+A latency histogram says the p99 spiked; the slow log says *which*
+batch did it and where the time went.  :class:`SlowLog` receives every
+finished root span from its :class:`~repro.obs.trace.Tracer` and, for
+the ones over the threshold, writes one JSON object per line — the
+root's identity, its duration, and its whole span tree (coordinator
+stages and the per-shard spans adopted from worker replies) — to an
+append-only ``.jsonl`` file and/or a bounded in-memory ring (served by
+the admin endpoint's ``/tracez``-style views and tests).
+
+The log is evaluated only at root-span *finish* (per batch, never per
+event), so with a sane threshold it costs one comparison per batch.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+
+class SlowLog:
+    """Records root spans slower than ``threshold_seconds``.
+
+    ``path`` (optional) appends one JSON line per slow batch;
+    ``max_entries`` bounds the in-memory ring regardless.  ``total``
+    counts every slow batch ever seen (the ring may have evicted it).
+    """
+
+    def __init__(self, threshold_seconds: float,
+                 path: Optional[str] = None,
+                 max_entries: int = 256) -> None:
+        if threshold_seconds < 0:
+            raise ValueError("slow-log threshold must be >= 0")
+        self.threshold_ns = int(threshold_seconds * 1e9)
+        self.path = path
+        self.entries: Deque[Dict[str, object]] = deque(maxlen=max_entries)
+        self.total = 0
+
+    def offer(self, root, spans: Sequence) -> None:
+        """Log ``root`` (with its trace's ``spans``) if it was slow.
+
+        Called by the tracer for every finished root span; fast-exits
+        on one integer comparison when the batch was under threshold.
+        """
+        if root.duration_ns < self.threshold_ns:
+            return
+        from repro.obs.trace import span_tree
+        record: Dict[str, object] = {
+            "kind": "slow_batch",
+            "name": root.name,
+            "trace_id": f"{root.trace_id:x}",
+            "start_us": root.start_us,
+            "duration_ms": round(root.duration_ns / 1e6, 3),
+            "threshold_ms": round(self.threshold_ns / 1e6, 3),
+            "spans": span_tree(root, spans),
+        }
+        self.total += 1
+        self.entries.append(record)
+        if self.path is not None:
+            with open(self.path, "a") as handle:
+                json.dump(record, handle, sort_keys=True)
+                handle.write("\n")
+
+    def recent(self, limit: int = 20) -> List[Dict[str, object]]:
+        """The newest slow-batch records, newest first."""
+        return list(self.entries)[-limit:][::-1]
+
+
+__all__ = ["SlowLog"]

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.graph.temporal_graph import Edge
+from repro.obs.trace import maybe_span
 from repro.query.temporal_query import TemporalQuery
 from repro.service.registry import (
     EngineFactory, QueryRegistry, RegisteredQuery,
@@ -122,9 +123,14 @@ class MatchService:
                  registry: Optional[QueryRegistry] = None,
                  engine_factories: Optional[Dict[str, EngineFactory]] = None,
                  routed: bool = True,
-                 metrics=None):
+                 metrics=None, tracer=None):
         if delta <= 0:
             raise ValueError("window size delta must be positive")
+        #: Optional :class:`~repro.obs.Tracer`.  When set, every batch
+        #: call opens a ``service_batch`` root span with route/
+        #: dispatch/notify children; ``None`` (the default) costs the
+        #: hot path nothing beyond per-batch ``is None`` checks.
+        self.tracer = tracer
         self.delta = delta
         self.routed = routed
         self.registry = registry or QueryRegistry(engine_factories)
@@ -206,6 +212,18 @@ class MatchService:
         """The :class:`QueryStats` of one registered query."""
         return self.registry.get(query_id).stats
 
+    def health(self) -> Dict[str, object]:
+        """Liveness summary (read-only; safe from the admin server's
+        thread).  A single-process service is alive by construction,
+        so ``status`` is always ``"ok"`` — quarantined queries are
+        reported but do not degrade the service itself."""
+        entries = list(self.registry.entries())
+        return {"status": "ok",
+                "queries": len(entries),
+                "errored_queries": sum(
+                    1 for e in entries if not e.active),
+                "live_edges": len(self._live)}
+
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
@@ -220,6 +238,7 @@ class MatchService:
         """
         notifications: List[MatchNotification] = []
         start = time.perf_counter()
+        root = maybe_span(self.tracer, "service_batch").__enter__()
         # Counters update per edge inside try/finally: a mid-batch
         # rejection (out-of-order edge) must leave the stats consistent
         # with the events that were already fanned out.
@@ -242,6 +261,7 @@ class MatchService:
                 self._live.append((edge, seq))
                 self.stats.edges_ingested += 1
         finally:
+            root.__exit__(None, None, None)
             self.stats.batches += 1
             spent = time.perf_counter() - start
             self.stats.elapsed_seconds += spent
@@ -268,6 +288,8 @@ class MatchService:
         edges = list(edges)
         notifications: List[MatchNotification] = []
         start = time.perf_counter()
+        root = maybe_span(self.tracer, "service_batch",
+                          events=len(edges)).__enter__()
         try:
             prefix, failure = self._validated_prefix(edges)
             events: List[Tuple[Event, int]] = []
@@ -280,8 +302,10 @@ class MatchService:
                 self._live.append((edge, seq))
                 self.stats.edges_ingested += 1
             if events:
-                self._fanout_batch(events, notifications)
+                self._fanout_batch(events, notifications,
+                                   trace_parent=root)
         finally:
+            root.__exit__(None, None, None)
             self.stats.batches += 1
             spent = time.perf_counter() - start
             self.stats.elapsed_seconds += spent
@@ -313,7 +337,8 @@ class MatchService:
                         seq))
 
     def _fanout_batch(self, events: List[Tuple[Event, int]],
-                      out: List[MatchNotification]) -> None:
+                      out: List[MatchNotification],
+                      trace_parent=None) -> None:
         """Run every eligible engine over the batch, then route the
         per-event results in global event order.
 
@@ -321,20 +346,26 @@ class MatchService:
         resolved once per batch (not once per engine) and each engine
         only receives the sub-batch it is interested in; the remainder
         is tallied as skipped without touching the engine.
+        ``trace_parent`` (a live span) nests route/dispatch/notify
+        stage spans under the caller's batch root.
         """
         registry = self.registry
         obs = self._obs
+        tracer = self.tracer if trace_parent is not None else None
         entries = [entry for entry in registry.entries() if entry.active]
         interest_sets = None
         if self.routed:
             route_start = time.perf_counter() if obs is not None else 0.0
-            lookup = registry.interest.lookup_ids
-            interest_sets = [lookup(ev.edge) for ev, _ in events]
+            with maybe_span(tracer, "route", parent=trace_parent):
+                lookup = registry.interest.lookup_ids
+                interest_sets = [lookup(ev.edge) for ev, _ in events]
             if obs is not None:
                 self._h_route.observe(time.perf_counter() - route_start)
         if obs is not None:
             self._h_batch_events.observe(len(events))
         per_entry: Dict[str, Dict[int, List[Match]]] = {}
+        dispatch = maybe_span(tracer, "dispatch", parent=trace_parent,
+                              queries=len(entries)).__enter__()
         for entry in entries:
             joined = entry.joined_seq
             if interest_sets is None:
@@ -384,7 +415,10 @@ class MatchService:
                     if matched is not None:
                         delta_hist.observe(sum(
                             len(m) for m in matched.values()))
+        dispatch.__exit__(None, None, None)
         notify_start = time.perf_counter() if obs is not None else 0.0
+        notify = maybe_span(tracer, "notify",
+                            parent=trace_parent).__enter__()
         # Route in global event order, registry order within an event —
         # exactly the order the per-event path emits.
         for ev, seq in events:
@@ -425,6 +459,7 @@ class MatchService:
             if entry.result is not None and entry.query_id in per_entry:
                 entry.result.events_processed += len(per_entry[
                     entry.query_id])
+        notify.__exit__(None, None, None)
         if obs is not None:
             self._h_notify.observe(time.perf_counter() - notify_start)
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Tuple
 
 from repro.graph.temporal_graph import Edge
+from repro.obs.trace import maybe_span
 from repro.streaming.engine import MatchEngine
 from repro.streaming.events import Event, build_event_list
 from repro.streaming.match import Match
@@ -61,7 +62,7 @@ class StreamDriver:
     def __init__(self, engine: MatchEngine,
                  time_limit: Optional[float] = None,
                  batch_size: Optional[int] = None,
-                 metrics=None):
+                 metrics=None, tracer=None):
         if batch_size is not None and batch_size < 1:
             raise ValueError("batch_size must be positive")
         self.engine = engine
@@ -71,6 +72,11 @@ class StreamDriver:
         #: default) keeps the hot loops untouched: the driver only
         #: consults it at run/chunk granularity, never per event.
         self.metrics = metrics
+        #: Optional :class:`~repro.obs.Tracer`: each batched chunk (or
+        #: one whole per-event run) becomes a root span, which is what
+        #: the slow-batch log watches.  Same granularity rule as
+        #: metrics — never consulted per event.
+        self.tracer = tracer
 
     def run_edges(self, edges: Iterable[Edge], delta: int) -> StreamResult:
         """Build the event list for ``edges`` with window ``delta`` and run."""
@@ -84,6 +90,8 @@ class StreamDriver:
         limit = self.time_limit
         engine = self.engine
         check_mask = self.BUDGET_CHECK_INTERVAL - 1
+        event = None
+        root = maybe_span(self.tracer, "driver_run").__enter__()
         start = time.perf_counter()
         if limit is None:
             for event in events:
@@ -110,10 +118,12 @@ class StreamDriver:
                     result.expired.extend((event, m) for m in matches)
                 result.events_processed += 1
         result.elapsed_seconds = time.perf_counter() - start
+        root.__exit__(None, None, None)
         if self.metrics is not None:
             self._record_run(result,
                              budget_checks=(0 if limit is None
-                                            else budget_checks))
+                                            else budget_checks),
+                             last_event=event)
         return result
 
     def _run_batched(self, events: Iterable[Event]) -> StreamResult:
@@ -124,7 +134,8 @@ class StreamDriver:
         limit = self.time_limit
         step = self.batch_size
         obs = self.metrics
-        batch_events = batch_seconds = None
+        tracer = self.tracer
+        batch_events = batch_seconds = lag_gauge = None
         if obs is not None:
             from repro.obs import SIZE_BUCKETS
             batch_events = obs.histogram(
@@ -133,6 +144,10 @@ class StreamDriver:
             batch_seconds = obs.histogram(
                 "driver_batch_seconds", "seconds per driver chunk",
                 engine=engine.name)
+            lag_gauge = obs.gauge(
+                "driver_event_time_lag_seconds",
+                "wall-clock now minus the last processed event's "
+                "stream timestamp", engine=engine.name)
         events = list(events)
         budget_checks = 0
         start = time.perf_counter()
@@ -145,23 +160,27 @@ class StreamDriver:
             chunk = events[lo:lo + step]
             chunk_start = (time.perf_counter() if obs is not None
                            else 0.0)
+            span = maybe_span(tracer, "driver_batch",
+                              events=len(chunk)).__enter__()
             matches_lists = engine.on_batch(chunk)
-            if obs is not None:
-                batch_seconds.observe(time.perf_counter() - chunk_start)
-                batch_events.observe(len(chunk))
             for event, matches in zip(chunk, matches_lists):
                 if event.is_arrival:
                     result.occurred.extend((event, m) for m in matches)
                 else:
                     result.expired.extend((event, m) for m in matches)
             result.events_processed += len(chunk)
+            span.__exit__(None, None, None)
+            if obs is not None:
+                batch_seconds.observe(time.perf_counter() - chunk_start)
+                batch_events.observe(len(chunk))
+                lag_gauge.set(time.time() - chunk[-1].time)
         result.elapsed_seconds = time.perf_counter() - start
         if obs is not None:
             self._record_run(result, budget_checks=budget_checks)
         return result
 
     def _record_run(self, result: StreamResult,
-                    budget_checks: int) -> None:
+                    budget_checks: int, last_event=None) -> None:
         """Fold one finished run into the metrics registry."""
         obs = self.metrics
         engine = self.engine.name
@@ -178,3 +197,8 @@ class StreamDriver:
         obs.histogram("driver_run_seconds",
                       "wall-clock seconds per driver run",
                       engine=engine).observe(result.elapsed_seconds)
+        if last_event is not None:
+            obs.gauge("driver_event_time_lag_seconds",
+                      "wall-clock now minus the last processed event's "
+                      "stream timestamp", engine=engine).set(
+                          time.time() - last_event.time)

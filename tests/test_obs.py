@@ -16,7 +16,6 @@ Four layers of guarantees:
 """
 
 import json
-import math
 import time
 
 import pytest
@@ -169,12 +168,53 @@ class TestSnapshot:
         assert 'requests_total{route="a",shard="1"}' in samples
 
     def test_merge_kind_mismatch_raises(self):
-        reg = MetricsRegistry()
+        reg = MetricsRegistry(process_metrics=False)
         reg.counter("x").inc()
-        other = MetricsRegistry()
+        other = MetricsRegistry(process_metrics=False)
         other.gauge("x").set(1)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="kind mismatch"):
             merge_snapshots(reg.snapshot(), other.snapshot())
+
+    def test_merge_empty_source_is_identity(self):
+        target = self.make_registry().snapshot()
+        before = json.loads(json.dumps(target))
+        merged = merge_snapshots(
+            target, MetricsRegistry(process_metrics=False).snapshot(),
+            shard="9")
+        assert merged is target
+        assert target == before
+
+    def test_merge_disjoint_families_union(self):
+        a = MetricsRegistry(process_metrics=False)
+        a.counter("left_total").inc(2)
+        b = MetricsRegistry(process_metrics=False)
+        b.gauge("right").set(5)
+        snap = merge_snapshots(a.snapshot(), b.snapshot(), shard="3")
+        assert snap["left_total"]["series"][0]["labels"] == {}
+        (right,) = snap["right"]["series"]
+        assert right["labels"] == {"shard": "3"}
+        assert right["value"] == 5.0
+        assert validate_snapshot(snap) == []
+
+    def test_merge_histogram_bound_mismatch_raises(self):
+        a = MetricsRegistry(process_metrics=False)
+        a.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        b = MetricsRegistry(process_metrics=False)
+        b.histogram("h", buckets=(1.0, 4.0)).observe(0.5)
+        with pytest.raises(ValueError, match="bucket bounds"):
+            merge_snapshots(a.snapshot(), b.snapshot(), shard="1")
+
+    def test_merge_label_collision_raises(self):
+        a = MetricsRegistry(process_metrics=False)
+        a.counter("hits_total", shard="1").inc()
+        b = MetricsRegistry(process_metrics=False)
+        b.counter("hits_total").inc()
+        # Merging b under shard="1" lands exactly on a's series.
+        with pytest.raises(ValueError, match="collides"):
+            merge_snapshots(a.snapshot(), b.snapshot(), shard="1")
+        # The same merge with a disambiguating label is fine.
+        snap = merge_snapshots(a.snapshot(), b.snapshot(), shard="2")
+        assert len(snap["hits_total"]["series"]) == 2
 
     def test_validate_snapshot_flags_problems(self):
         assert validate_snapshot([]) != []
@@ -189,7 +229,7 @@ class TestSnapshot:
 # ----------------------------------------------------------------------
 class TestPrometheus:
     def test_round_trip_values_and_types(self):
-        reg = MetricsRegistry()
+        reg = MetricsRegistry(process_metrics=False)
         reg.counter("hits_total", "hits", route="a").inc(7)
         reg.gauge("depth", "queue").set(3)
         hist = reg.histogram("span_seconds", "spans", (0.1, 1.0),
@@ -221,7 +261,7 @@ class TestPrometheus:
             assert samples[f'h_count{{shard="{shard}"}}'] == expected
 
     def test_label_escaping_round_trips(self):
-        reg = MetricsRegistry()
+        reg = MetricsRegistry(process_metrics=False)
         tricky = 'back\\slash "quoted"\nnewline'
         reg.counter("weird_total", label=tricky).inc()
         text = render_prometheus(reg)
@@ -345,6 +385,12 @@ class TestIntegration:
         edges = {s["labels"]["shard"]: s["value"]
                  for s in snap["cluster_worker_edges_total"]["series"]}
         assert all(v > 0 for v in edges.values())
+        # Process self-metrics arrive per process: the coordinator's
+        # own (unlabeled) plus one copy per shard.
+        rss = snap["process_resident_memory_bytes"]["series"]
+        assert {s["labels"].get("shard") for s in rss} == \
+            {None, "0", "1"}
+        assert all(s["value"] > 0 for s in rss)
         # Metrics snapshots must not disturb the service counters.
         assert service.stats.edges_ingested == 30
 
@@ -392,6 +438,33 @@ class TestIntegration:
                 assert stats.events_processed == 0
                 assert stats.errors == 1
 
+    def test_process_selfmetrics_on_every_registry(self):
+        snap = MetricsRegistry().snapshot()
+        for name in ("process_resident_memory_bytes",
+                     "process_max_resident_memory_bytes"):
+            assert snap[name]["series"][0]["value"] > 0, name
+        for name in ("process_cpu_user_seconds_total",
+                     "process_cpu_system_seconds_total"):
+            assert snap[name]["kind"] == "counter"
+            assert snap[name]["series"][0]["value"] >= 0.0
+        samples, _ = parse_prometheus(render_prometheus(snap))
+        assert samples["process_resident_memory_bytes"] > 0
+
+    def test_driver_event_time_lag_gauge(self):
+        from repro.bench.runner import make_engine
+        from repro.streaming.driver import StreamDriver
+
+        reg = MetricsRegistry(process_metrics=False)
+        engine = make_engine("tcm", AB_QUERY, AB_LABELS)
+        driver = StreamDriver(engine, batch_size=8, metrics=reg)
+        driver.run_edges(ab_edges(20), delta=10)
+        (series,) = reg.snapshot()["driver_event_time_lag_seconds"][
+            "series"]
+        # Synthetic timestamps are tiny ints, so the lag is roughly
+        # the wall clock itself — positive and enormous.
+        assert series["value"] > 1e6
+        assert series["labels"] == {"engine": engine.name}
+
     def test_host_metadata_fields(self):
         meta = host_metadata()
         for key in ("python_version", "platform", "machine", "cpu_count"):
@@ -427,6 +500,23 @@ class TestCliMetrics:
         status = main(["multi", "--scaling", "2", "4", "--metrics"])
         assert status == 2
         assert "--metrics" in capsys.readouterr().err
+
+    def test_bench_metrics_writes_valid_artifacts(self, tmp_path, capsys):
+        from repro.cli import main
+        status = main(["bench", "--mode", "single", "--datasets",
+                       "superuser", "--stream-edges", "120", "--queries",
+                       "1", "--sizes", "3", "--engines", "tcm",
+                       "--repeats", "1", "--output-dir", str(tmp_path),
+                       "--metrics"])
+        assert status == 0
+        assert "metrics.json" in capsys.readouterr().out
+        assert validate_metrics_file(
+            str(tmp_path / "metrics.json"),
+            require=["driver_run_seconds", "driver_events_total"]) == []
+        with open(tmp_path / "metrics.json") as handle:
+            snapshot = json.load(handle)["metrics"]
+        assert validate_promtext_file(
+            str(tmp_path / "metrics.prom"), snapshot) == []
 
     def test_bench_reports_carry_host_metadata(self):
         from repro.bench import ThroughputConfig, measure_single

@@ -35,33 +35,92 @@ class TestRequestFrames:
         edges = sample_edges()
         frame = wire.encode_ingest(edges, batched=batched)
         assert wire.is_request_frame(frame)
-        decoded_verb, payload = wire.decode_request(frame)
+        decoded_verb, payload, ctx = wire.decode_request(frame)
         assert decoded_verb == verb
         assert payload == edges
+        assert ctx is None
 
     @pytest.mark.parametrize("batched", [False, True])
     def test_routed_round_trip(self, batched):
         pairs = [(edge, 100 + i) for i, edge in enumerate(sample_edges())]
         frame = wire.encode_routed(pairs, 55, 105, batched=batched)
-        verb, payload = wire.decode_request(frame)
+        verb, payload, ctx = wire.decode_request(frame)
         assert verb == protocol.INGEST_ROUTED
         assert isinstance(payload, RoutedBatch)
         assert list(payload.pairs) == pairs
         assert payload.final_now == 55
         assert payload.final_seq == 105
         assert payload.batched is batched
+        assert ctx is None
 
     def test_empty_routed_frame_is_clock_advance(self):
         frame = wire.encode_routed([], 99, 42, batched=True)
-        verb, payload = wire.decode_request(frame)
+        verb, payload, ctx = wire.decode_request(frame)
         assert verb == protocol.INGEST_ROUTED
         assert payload.pairs == ()
         assert (payload.final_now, payload.final_seq) == (99, 42)
+        assert ctx is None
 
     def test_pickle_streams_are_not_frames(self):
         data = pickle.dumps((protocol.INGEST, sample_edges()))
         assert not wire.is_request_frame(data)
         assert not wire.is_reply_frame(data)
+
+
+class TestTracedRequestFrames:
+    CTX = (0x123456789ab, 0xcafe42)
+
+    def test_traced_ingest_round_trip(self):
+        edges = sample_edges()
+        frame = wire.encode_ingest(edges, batched=True, trace=self.CTX)
+        assert wire.is_request_frame(frame)
+        verb, payload, ctx = wire.decode_request(frame)
+        assert verb == protocol.INGEST_BATCH
+        assert payload == edges
+        assert ctx == self.CTX
+
+    @pytest.mark.parametrize("pairs", [[], None])
+    def test_traced_routed_round_trip(self, pairs):
+        if pairs is None:
+            pairs = [(edge, 100 + i)
+                     for i, edge in enumerate(sample_edges())]
+        frame = wire.encode_routed(pairs, 55, 105, batched=True,
+                                   trace=self.CTX)
+        verb, payload, ctx = wire.decode_request(frame)
+        assert verb == protocol.INGEST_ROUTED
+        assert list(payload.pairs) == pairs
+        assert ctx == self.CTX
+
+    def test_untraced_frames_are_byte_identical_to_trace_none(self):
+        """``trace=None`` must leave the wire format untouched — the
+        tracing-off frames are pinned to the pre-tracing layout."""
+        edges = sample_edges()
+        assert (wire.encode_ingest(edges, batched=True)
+                == wire.encode_ingest(edges, batched=True, trace=None))
+        pairs = [(edge, 100 + i) for i, edge in enumerate(edges)]
+        assert (wire.encode_routed(pairs, 55, 105, batched=False)
+                == wire.encode_routed(pairs, 55, 105, batched=False,
+                                      trace=None))
+
+    def test_untraced_layout_is_pinned(self):
+        """Golden frames: the untraced wire layout must never change
+        (a coordinator and worker from different builds share a pipe
+        only while these bytes stay stable)."""
+        from array import array
+        frame = wire.encode_ingest([Edge.make(1, 2, 3)], batched=True)
+        assert frame == (wire.MAGIC_REQUEST + b"\x01"
+                         + array("q", [1, 1, 2, 3]).tobytes())
+        frame = wire.encode_routed([(Edge.make(1, 2, 3), 7)], 3, 8,
+                                   batched=True)
+        assert frame == (wire.MAGIC_REQUEST + b"\x03"
+                         + array("q", [3, 8, 1, 1, 2, 3, 7]).tobytes())
+
+    def test_traced_frame_differs_only_by_flag_and_prefix(self):
+        edges = sample_edges()
+        plain = wire.encode_ingest(edges, batched=True)
+        traced = wire.encode_ingest(edges, batched=True, trace=self.CTX)
+        assert len(traced) == len(plain) + 16  # two extra int64 slots
+        assert plain != traced
 
 
 class TestReplyFrames:
