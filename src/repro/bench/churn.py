@@ -1,0 +1,263 @@
+"""Churn benchmark: registration storms + live rebalancing.
+
+The multi-query harness (:mod:`repro.bench.multi`) measures a *static*
+query population.  This benchmark measures the elastic cluster under
+the two stresses the live-placement refactor exists for:
+
+* **churn** — queries register and unregister in periodic storms while
+  the stream ingests, so the placement decision is made over and over
+  against a shifting population;
+* **skew** — the workload is deliberately adversarial to count-based
+  placement: *hot* queries (interested in the dominant label region of
+  the stream) and *cold* queries (interested in a rare region)
+  alternate at registration time, which makes ``least_loaded`` — which
+  balances query *counts*, not load — stack every hot query on one
+  shard and every cold query on the other.
+
+The benchmark runs the identical workload twice: once static (the
+placement never changes after registration) and once with
+``service.rebalance()`` called every ``rebalance_every`` batches, which
+live-migrates queries off event-hot shards using the per-query
+``events_processed`` counters as the load signal.  The headline number
+is the per-shard ``events_routed`` skew (max/mean of per-shard routing
+deltas) over the second half of the stream — after the rebalancer has
+had a chance to act — which drops toward 1.0 when migration is doing
+its job.  Merged match output is byte-identical between the two modes
+by the migration protocol's invariant, so the comparison is pure
+scheduling.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.temporal_graph import Edge
+from repro.query.temporal_query import TemporalQuery
+
+#: Vertex-label scheme: a small hot clique and a small cold clique.
+_HOT_LABEL = "H"
+_COLD_LABEL = "C"
+_HOT_VERTICES = tuple(range(0, 12))
+_COLD_VERTICES = tuple(range(100, 112))
+
+
+@dataclass
+class ChurnConfig:
+    """Knobs for one churn run (one service lifetime)."""
+
+    stream_edges: int = 4000
+    batch_size: int = 100
+    workers: int = 2
+    #: Hot/cold continuous queries registered up front (alternating, so
+    #: count-based placement stacks each class on its own shard).
+    hot_queries: int = 4
+    cold_queries: int = 4
+    #: Hot edges per cold edge in the stream (the load skew).
+    hot_ratio: int = 9
+    #: Window size; large enough that matches accumulate.
+    delta: int = 600
+    #: Batches between churn storms (0 = no churn).
+    churn_every: int = 8
+    #: Register/unregister pairs per storm.
+    churn_size: int = 2
+    #: Batches between ``service.rebalance()`` calls (0 = static).
+    rebalance_every: int = 0
+    engine: str = "tcm"
+    seed: int = 0
+
+
+@dataclass
+class ChurnRun:
+    """Outcome of one churn run."""
+
+    mode: str
+    workers: int
+    edges_ingested: int
+    batches: int
+    elapsed_seconds: float
+    throughput_eps: float
+    occurred: int
+    registered_total: int
+    unregistered_total: int
+    migrations: int
+    #: Per-shard (event, query) routings over the whole run.
+    shard_routed: List[int] = field(default_factory=list)
+    #: Per-shard routings over the second half only (the window the
+    #: skew headline is computed on).
+    shard_routed_late: List[int] = field(default_factory=list)
+    #: max/mean of ``shard_routed_late`` (1.0 = perfectly even).
+    skew: float = 0.0
+    #: Migration records as dicts (source/target/reason/...).
+    history: List[Dict[str, object]] = field(default_factory=list)
+
+
+def _build_stream(config: ChurnConfig
+                  ) -> Tuple[List[Edge], Dict[int, str]]:
+    """A chronological stream skewed ``hot_ratio``:1 toward edges
+    between hot-labeled vertices."""
+    rng = random.Random(config.seed)
+    labels: Dict[int, str] = {}
+    for v in _HOT_VERTICES:
+        labels[v] = _HOT_LABEL
+    for v in _COLD_VERTICES:
+        labels[v] = _COLD_LABEL
+    edges: List[Edge] = []
+    for t in range(config.stream_edges):
+        pool = (_HOT_VERTICES
+                if rng.randrange(config.hot_ratio + 1) else
+                _COLD_VERTICES)
+        u, v = sorted(rng.sample(pool, 2))
+        edges.append(Edge(u=u, v=v, t=t))
+    return edges, labels
+
+
+def _query(label: str) -> TemporalQuery:
+    return TemporalQuery(labels=[label, label], edges=[(0, 1)])
+
+
+def run_churn(config: Optional[ChurnConfig] = None, *,
+              rebalance_every: Optional[int] = None) -> ChurnRun:
+    """Drive one sharded service through the churn workload.
+
+    ``rebalance_every`` overrides the config knob so the comparison
+    harness can run both modes off one config object.
+    """
+    from repro.cluster import ShardedMatchService
+
+    config = config or ChurnConfig()
+    every = (config.rebalance_every if rebalance_every is None
+             else rebalance_every)
+    edges, labels = _build_stream(config)
+    service = ShardedMatchService(config.delta, workers=config.workers)
+    try:
+        count = max(config.hot_queries, config.cold_queries)
+        for i in range(count):
+            # Alternate hot/cold so least-loaded stacks the classes.
+            if i < config.hot_queries:
+                service.register(_query(_HOT_LABEL), labels,
+                                 config.engine, query_id=f"hot{i}",
+                                 collect_results=False)
+            if i < config.cold_queries:
+                service.register(_query(_COLD_LABEL), labels,
+                                 config.engine, query_id=f"cold{i}",
+                                 collect_results=False)
+        churn_counter = 0
+        half_mark: Optional[List[int]] = None
+        step = max(1, config.batch_size)
+        total_batches = (len(edges) + step - 1) // step
+        batch_no = 0
+        for lo in range(0, len(edges), step):
+            service.process_batch(edges[lo:lo + step])
+            batch_no += 1
+            if config.churn_every and batch_no % config.churn_every == 0:
+                # A storm: retire the oldest churners, register fresh
+                # ones (hot, so the storm also shifts real load).
+                for _ in range(config.churn_size):
+                    query_id = f"churn{churn_counter}"
+                    churn_counter += 1
+                    service.register(_query(_HOT_LABEL), labels,
+                                     config.engine, query_id=query_id,
+                                     collect_results=False)
+                retired = churn_counter - config.churn_size * 2
+                for k in range(max(0, retired - config.churn_size),
+                               retired):
+                    if f"churn{k}" in service:
+                        service.unregister(f"churn{k}")
+            if every and batch_no % every == 0:
+                service.rebalance()
+            if batch_no == total_batches // 2:
+                half_mark = list(service.shard_routed)
+        service.drain()
+        if half_mark is None:
+            half_mark = [0] * service.num_workers
+        late = [total - base for total, base
+                in zip(service.shard_routed, half_mark)]
+        live = [late[s] for s in range(service.num_workers)
+                if service._workers[s].alive]
+        mean = sum(live) / len(live) if live else 0.0
+        skew = (max(live) / mean) if mean > 0 else 0.0
+        per_query = service.all_query_stats()
+        return ChurnRun(
+            mode=f"rebalance@{every}" if every else "static",
+            workers=config.workers,
+            edges_ingested=service.stats.edges_ingested,
+            batches=service.stats.batches,
+            elapsed_seconds=service.stats.elapsed_seconds,
+            throughput_eps=service.stats.throughput_eps,
+            occurred=sum(s.occurred for s in per_query),
+            registered_total=service.stats.registered_total,
+            unregistered_total=service.stats.unregistered_total,
+            migrations=len(service.migration_history),
+            shard_routed=list(service.shard_routed),
+            shard_routed_late=late,
+            skew=skew,
+            history=[record.to_dict()
+                     for record in service.migration_history],
+        )
+    finally:
+        service.close()
+
+
+def compare_churn(config: Optional[ChurnConfig] = None,
+                  rebalance_every: int = 8) -> List[ChurnRun]:
+    """The benchmark proper: identical workload, static vs rebalanced."""
+    config = config or ChurnConfig()
+    return [run_churn(config, rebalance_every=0),
+            run_churn(config, rebalance_every=rebalance_every)]
+
+
+def format_churn(runs: Sequence[ChurnRun],
+                 config: Optional[ChurnConfig] = None) -> str:
+    """Render the comparison as the committed results table."""
+    lines = []
+    if config is not None:
+        lines.append(
+            f"churn benchmark: edges={config.stream_edges} "
+            f"batch={config.batch_size} workers={config.workers} "
+            f"hot/cold={config.hot_queries}/{config.cold_queries} "
+            f"hot_ratio={config.hot_ratio}:1 "
+            f"churn={config.churn_size}q/{config.churn_every}b "
+            f"engine={config.engine} seed={config.seed}")
+    lines.append(
+        f"  {'mode':<14}{'edges/s':>10}{'reg':>6}{'unreg':>7}"
+        f"{'migr':>6}{'routed(2nd half, per shard)':>30}{'skew':>7}")
+    for run in runs:
+        routed = "/".join(str(n) for n in run.shard_routed_late)
+        lines.append(
+            f"  {run.mode:<14}{run.throughput_eps:>10.0f}"
+            f"{run.registered_total:>6}{run.unregistered_total:>7}"
+            f"{run.migrations:>6}{routed:>30}{run.skew:>7.2f}")
+    lines.append("  skew = max/mean of per-shard (event, query) "
+                 "routings over the second half; 1.00 is even.")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="cluster churn + rebalance benchmark")
+    parser.add_argument("--stream-edges", type=int, default=4000)
+    parser.add_argument("--batch-size", type=int, default=100)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--rebalance-every", type=int, default=8)
+    parser.add_argument("--engine", default="tcm")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    config = ChurnConfig(
+        stream_edges=args.stream_edges, batch_size=args.batch_size,
+        workers=args.workers, engine=args.engine, seed=args.seed)
+    runs = compare_churn(config, rebalance_every=args.rebalance_every)
+    print(format_churn(runs, config))
+    static, rebalanced = runs
+    if rebalanced.skew >= static.skew:
+        print("warning: rebalance did not reduce routing skew",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,6 +50,15 @@ class MultiQueryConfig:
     #: in :attr:`MultiQueryRun.metrics`.  Off by default: the
     #: uninstrumented hot path is the benchmarked artifact.
     metrics: bool = False
+    #: Sharded runs only: live-migrate the first registered query to a
+    #: policy-chosen shard after this many batches (0 = never).
+    #: Exercises the migration path under load; merged output is
+    #: unchanged by construction.
+    migrate_at: int = 0
+    #: Sharded runs only: call ``service.rebalance()`` every N batches
+    #: (0 = never), letting per-shard load skew drive live migrations
+    #: mid-run.
+    rebalance_every: int = 0
 
     @property
     def delta(self) -> int:
@@ -87,6 +96,12 @@ class MultiQueryRun:
     #: Merged metrics snapshot (see :mod:`repro.obs`) when the run was
     #: configured with ``metrics=True``; ``None`` otherwise.
     metrics: Optional[Dict[str, object]] = None
+    #: Final live placement map (sharded runs only; see
+    #: ``ShardedMatchService.placement_snapshot``).
+    placement: Optional[Dict[str, object]] = None
+    #: Migration state at the end of the run (sharded runs only; see
+    #: ``ShardedMatchService.migration_state``).
+    migrations: Optional[Dict[str, object]] = None
 
 
 def dataset_workload(config: MultiQueryConfig) -> Tuple[object,
@@ -192,12 +207,26 @@ def run_multi_query(config: Optional[MultiQueryConfig] = None,
                 f"vertex-labeled datasets")
         edges = stream.edges
         step = max(1, config.batch_size)
+        batch_no = 0
         for lo in range(0, len(edges), step):
             # process_batch feeds each engine the chunk's whole event
             # list through one on_batch call (same output as ingest,
             # the filter maintenance deduped across the chunk); the
             # sharded service routes it to its workers' batch path.
             service.process_batch(edges[lo:lo + step])
+            batch_no += 1
+            if sharded:
+                if config.migrate_at and batch_no == config.migrate_at:
+                    from repro.cluster import MigrationError
+                    ids = service.registered_ids()
+                    if ids:
+                        try:
+                            service.migrate(ids[0], reason="bench")
+                        except MigrationError:
+                            pass  # single live shard: nothing to do
+                if (config.rebalance_every
+                        and batch_no % config.rebalance_every == 0):
+                    service.rebalance()
             if progress is not None:
                 progress(service, min(lo + step, len(edges)), len(edges))
         service.drain()
@@ -247,6 +276,10 @@ def run_multi_query(config: Optional[MultiQueryConfig] = None,
             events_unshipped=getattr(service, "events_unshipped", 0),
             per_shard=per_shard,
             metrics=snapshot,
+            placement=(service.placement_snapshot() if sharded
+                       else None),
+            migrations=(service.migration_state() if sharded
+                        else None),
         )
     finally:
         if sharded:
@@ -317,6 +350,21 @@ def format_multi_run(run: MultiQueryRun) -> str:
                 f"  {row['shard']:<8}{row['shipped']:>9}"
                 f"{row['unshipped']:>11}{row['routed']:>9}"
                 f"{row['skipped']:>9}")
+    if run.placement is not None:
+        counts = {shard: len(state["queries"])
+                  for shard, state in run.placement["shards"].items()}
+        assignment = " ".join(f"{shard}:{count}"
+                              for shard, count in sorted(counts.items()))
+        lines.append(f"  placement ({run.placement['policy']}): "
+                     f"{assignment}")
+    if run.migrations and run.migrations.get("completed"):
+        lines.append(f"  migrations: {run.migrations['completed']} "
+                     f"completed")
+        for m in run.migrations["history"]:
+            lines.append(
+                f"    {m['query_id']}: shard {m['source']} -> "
+                f"{m['target']} ({m['reason']}, "
+                f"window={m['window_edges']}, tail={m['tail_events']})")
     return "\n".join(lines)
 
 

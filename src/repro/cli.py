@@ -130,6 +130,16 @@ def build_parser() -> argparse.ArgumentParser:
                          "spread evenly, or co-locate queries with "
                          "overlapping label interests to shrink "
                          "per-batch shard fan-out")
+    pm.add_argument("--migrate-at", type=int, default=0, metavar="N",
+                    help="with --workers >1: live-migrate the first "
+                         "registered query to another shard after N "
+                         "batches (0 = never); merged output is "
+                         "unchanged by construction")
+    pm.add_argument("--rebalance-every", type=int, default=0,
+                    metavar="N",
+                    help="with --workers >1: rebalance query placement "
+                         "every N batches, migrating queries off "
+                         "event-hot shards (0 = never)")
     pm.add_argument("--scaling", nargs="+", type=int, default=None,
                     metavar="N",
                     help="instead of one run, sweep these query counts "
@@ -385,6 +395,13 @@ def _run_multi_single(args, mconfig) -> int:
     def on_service(service) -> None:
         server.registry = getattr(service, "metrics", None)
         server.health = service.health
+        if hasattr(service, "placement_snapshot"):
+            # Sharded runs expose the live placement map and migration
+            # state on /varz (both read only coordinator-side mirrors,
+            # so the admin thread can serve them mid-ingest).
+            server.varz = lambda: {
+                "placement": service.placement_snapshot(),
+                "migrations": service.migration_state()}
         port = server.start()
         print(f"admin endpoint at http://127.0.0.1:{port}/")
 
@@ -485,7 +502,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             routed=not args.broadcast,
             placement=args.placement.replace("-", "_"),
             metrics=args.metrics,
+            migrate_at=args.migrate_at,
+            rebalance_every=args.rebalance_every,
         )
+        if ((args.migrate_at or args.rebalance_every)
+                and args.workers[0] < 2):
+            print("error: --migrate-at/--rebalance-every need "
+                  "--workers >1 (there is nowhere to migrate to)",
+                  file=sys.stderr)
+            return 2
         try:
             if args.scaling:
                 if args.checkpoint:

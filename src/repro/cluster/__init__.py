@@ -14,7 +14,11 @@ The third layer of the matching stack:
   per-query matches back in arrival order, with the full service
   contract (mid-stream register/unregister, per-query error isolation
   plus whole-worker crash quarantine, and composed
-  checkpoint/restore).
+  checkpoint/restore).  Placement is a live policy: queries migrate
+  between workers mid-stream with byte-identical merged output
+  (``repro.cluster.migration``), load skew rebalances away, and the
+  worker pool grows/shrinks elastically (``add_worker`` /
+  ``drain_worker``).
 
 ``repro.cluster.checkpoint`` persists/restores the sharded service
 (including scale-up/down across worker counts); ``repro.cluster.tasks``
@@ -25,6 +29,9 @@ in ``repro.bench.parallel``.
 from repro.cluster.coordinator import (
     ShardedMatchService, ShardedQueryEntry, WorkerCrashError,
 )
+from repro.cluster.migration import (
+    MigrationError, MigrationRecord,
+)
 from repro.cluster.placement import ShardPlacement
 from repro.cluster.tasks import shared_payload_map
 from repro.cluster.checkpoint import (
@@ -34,6 +41,7 @@ from repro.cluster.checkpoint import (
 
 __all__ = [
     "ShardedMatchService", "ShardedQueryEntry", "WorkerCrashError",
+    "MigrationError", "MigrationRecord",
     "ShardPlacement", "shared_payload_map",
     "as_service_snapshot", "load_checkpoint", "restore",
     "save_checkpoint", "snapshot",

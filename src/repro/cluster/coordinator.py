@@ -51,6 +51,20 @@ Isolation layers
 * worker crash: a broken pipe quarantines the whole shard — its
   queries flip to errored with a crash message, the remaining shards
   keep serving, and new registrations route around the dead worker.
+  With ``auto_recover=True`` (or an explicit
+  :meth:`~ShardedMatchService.recover_quarantined` call) the stranded
+  queries re-home onto healthy workers at the next batch boundary.
+
+Elasticity
+----------
+The query↔shard assignment is live, not a registration-time constant:
+:meth:`~ShardedMatchService.migrate` moves one query between workers
+inside a batch boundary with byte-identical merged output (see
+:mod:`repro.cluster.migration` for the protocol), :meth:`~
+ShardedMatchService.rebalance` plans and executes migrations that even
+out per-shard load, and :meth:`~ShardedMatchService.add_worker` /
+:meth:`~ShardedMatchService.drain_worker` grow and gracefully shrink
+the worker pool (shard split/merge) while the stream runs.
 
 Lifecycle: the service owns OS processes, so call :meth:`close` (or use
 it as a context manager) when done.
@@ -69,6 +83,9 @@ from typing import (
 )
 
 from repro.cluster import protocol, wire
+from repro.cluster.migration import (
+    DEFAULT_MAX_TAIL, MigrationManager, MigrationRecord,
+)
 from repro.cluster.placement import ShardPlacement
 from repro.cluster.protocol import (
     QueryFinalState, RegisterSpec, Reply, RoutedBatch, make_exception,
@@ -101,6 +118,11 @@ class _QueryInfo:
     reg_index: int
     collect_results: bool
     has_edge_label_fn: bool
+    #: The registration-time engine argument (kind string or callable
+    #: factory) and label fn, kept so a migration ticket can carry the
+    #: full re-registration spec to the target worker.
+    engine_obj: object = "tcm"
+    edge_label_fn: Optional[Callable] = None
     subscribers: List[Callable] = field(default_factory=list)
     status: QueryStatus = QueryStatus.ACTIVE
     error: Optional[str] = None
@@ -140,6 +162,9 @@ class _WorkerHandle:
     process: object
     conn: object
     alive: bool = True
+    #: True after a graceful :meth:`ShardedMatchService.drain_worker`
+    #: (planned scale-down, not a crash — health stays "ok").
+    retired: bool = False
 
 
 def _pick_context(start_method: Optional[str]):
@@ -168,7 +193,7 @@ class ShardedMatchService:
                  start_method: Optional[str] = None, batched: bool = True,
                  routed: bool = True, binary: bool = True,
                  placement: str = "least_loaded", metrics=None,
-                 tracer=None):
+                 tracer=None, auto_recover: bool = False):
         if delta <= 0:
             raise ValueError("window size delta must be positive")
         if workers < 1:
@@ -252,18 +277,17 @@ class ShardedMatchService:
         #: a clock-advance frame while expirations are due.
         self._shard_expiries: List[Deque[int]] = [
             deque() for _ in range(workers)]
-        ctx = _pick_context(start_method)
+        #: When True, queries stranded by a worker crash are re-homed
+        #: onto healthy shards automatically at the next batch boundary
+        #: (see :meth:`recover_quarantined` for the semantics).
+        self.auto_recover = auto_recover
+        self._migrations = MigrationManager(self)
+        # Kept for add_worker(): new workers must spawn from the same
+        # multiprocessing context as the original pool.
+        self._ctx = _pick_context(start_method)
         self._workers: List[_WorkerHandle] = []
         for index in range(workers):
-            parent_conn, child_conn = ctx.Pipe()
-            process = ctx.Process(
-                target=shard_worker_main,
-                args=(child_conn, delta, routed, metrics is not None,
-                      tracer is not None),
-                name=f"repro-shard-{index}", daemon=True)
-            process.start()
-            child_conn.close()
-            self._workers.append(_WorkerHandle(index, process, parent_conn))
+            self._spawn_worker(index)
         #: Pre-bound coordinator instruments (None when metrics are
         #: off); per-shard instruments are bound lazily on first touch.
         self._h_ingest = self._h_route = self._h_exchange = None
@@ -356,6 +380,8 @@ class ShardedMatchService:
         stats and any worker-collected results).  A query stranded on a
         crashed shard is returned in its errored state (its counters
         died with the worker)."""
+        if self._migrations.is_pending(query_id):
+            self._migrations.finish(query_id)
         try:
             info = self._queries.pop(query_id)
         except KeyError:
@@ -368,9 +394,10 @@ class ShardedMatchService:
             reply = self._request(shard, (protocol.UNREGISTER, query_id))
         except WorkerCrashError:
             return self._lost_entry(info, shard)
-        if reply.interest is not None:
-            self._shard_interest[shard] = reply.interest
-            self._routing_cache = None
+        except KeyError:
+            # The worker no longer hosts the query (it was lost in a
+            # failed migration); answer from the coordinator mirror.
+            return self._lost_entry(info, shard)
         final: QueryFinalState = reply.payload
         return ShardedQueryEntry(
             query_id, info.query, info.labels, info.engine_kind, shard,
@@ -385,7 +412,11 @@ class ShardedMatchService:
 
     def get(self, query_id: str) -> ShardedQueryEntry:
         """A live view of one query (stats and results fetched from the
-        owning worker; placeholders for queries lost to a crash)."""
+        owning worker; placeholders for queries lost to a crash).  A
+        query whose staged migration is still in flight is landed on
+        its target first."""
+        if self._migrations.is_pending(query_id):
+            self._migrations.finish(query_id)
         info = self._get_info(query_id)
         if self._workers[info.shard].alive:
             try:
@@ -419,6 +450,8 @@ class ShardedMatchService:
         than a zeroed placeholder that would silently drop the
         quarantined shard's contribution from merged timing reports.
         """
+        if self._migrations.is_pending(query_id):
+            self._migrations.finish(query_id)
         info = self._get_info(query_id)
         if self._workers[info.shard].alive:
             try:
@@ -469,6 +502,9 @@ class ShardedMatchService:
         in-process service.
         """
         self._ensure_open()
+        # Batch-boundary housekeeping: auto-recover crash-stranded
+        # queries and land staged migrations whose tails overflowed.
+        self._migrations.before_batch()
         edges = list(edges)
         start = time.perf_counter()
         obs = self.metrics
@@ -481,6 +517,9 @@ class ShardedMatchService:
             prefix, failure = self._validated_prefix(edges)
             notifications: List[MatchNotification] = []
             if prefix:
+                # Queries paused mid-migration buffer their share of
+                # the batch for replay at finish.
+                self._migrations.buffer(prefix, self._seq)
                 if self.routed:
                     route_start = (time.perf_counter()
                                    if obs is not None else 0.0)
@@ -642,6 +681,9 @@ class ShardedMatchService:
         """Expire every remaining live edge (end of stream); like the
         in-process service, the arrival cursor is left untouched."""
         self._ensure_open()
+        # Staged migrations must flush their private windows entirely
+        # at finish — the cluster-wide windows empty here.
+        self._migrations.note_drain()
         start = time.perf_counter()
         for due in self._shard_expiries:
             due.clear()
@@ -652,6 +694,157 @@ class ShardedMatchService:
         self._deliver(notifications)
         self.stats.elapsed_seconds += time.perf_counter() - start
         return notifications
+
+    # ------------------------------------------------------------------
+    # Elastic operations (live migration + resharding)
+    # ------------------------------------------------------------------
+    def migrate(self, query_id: str, target: Optional[int] = None, *,
+                reason: str = "manual") -> MigrationRecord:
+        """Move one query to another worker inside the current batch
+        boundary.  ``target`` defaults to the placement policy's pick.
+        The merged notification stream is byte-identical to a
+        never-migrated run (see :mod:`repro.cluster.migration`)."""
+        self._ensure_open()
+        return self._migrations.migrate(query_id, target, reason=reason)
+
+    def begin_migrate(self, query_id: str,
+                      target: Optional[int] = None, *,
+                      max_tail: int = DEFAULT_MAX_TAIL,
+                      reason: str = "staged") -> int:
+        """Start a staged migration: detach the query now, buffer its
+        routed events (bounded by ``max_tail``), restore later via
+        :meth:`finish_migrate`.  Returns the planned target shard."""
+        self._ensure_open()
+        return self._migrations.begin(query_id, target,
+                                      max_tail=max_tail, reason=reason)
+
+    def finish_migrate(self, query_id: str) -> List[MatchNotification]:
+        """Complete a staged migration; returns the tail-replay
+        notifications (already delivered to subscribers)."""
+        self._ensure_open()
+        return self._migrations.finish(query_id)
+
+    def rebalance(self, *, tolerance: float = 0.1,
+                  max_moves: Optional[int] = None,
+                  signal: str = "events") -> List[MigrationRecord]:
+        """Even out per-shard load by migrating queries off hot
+        workers (load signal: per-query events processed, or engine
+        busy-seconds with ``signal="busy"``).  Returns the completed
+        migration records — empty when the cluster is already within
+        ``tolerance`` of balanced."""
+        self._ensure_open()
+        return self._migrations.rebalance(
+            tolerance=tolerance, max_moves=max_moves, signal=signal)
+
+    def recover_quarantined(self, shard: Optional[int] = None
+                            ) -> List[MigrationRecord]:
+        """Re-home the queries stranded on crashed workers onto healthy
+        shards (all quarantined shards, or just ``shard``).  Recovered
+        queries rejoin at the current global cursor with an empty
+        window — the same semantics as a checkpoint restore — and
+        queries the crash errored flip back to active."""
+        self._ensure_open()
+        return self._migrations.recover(shard)
+
+    def add_worker(self) -> int:
+        """Grow the cluster by one empty live worker (shard split);
+        returns the new shard index.  The worker joins at the global
+        stream cursor, immediately becomes the least-loaded placement
+        target, and :meth:`rebalance` will start moving load onto it."""
+        self._ensure_open()
+        index = len(self._workers)
+        self._spawn_worker(index)
+        self.shard_shipped.append(0)
+        self.shard_unshipped.append(0)
+        self.shard_routed.append(0)
+        self.shard_skipped.append(0)
+        self._synced_codes.append(set())
+        self._shard_expiries.append(deque())
+        self._shard_obs.append(None)
+        self._placement.add_shard()
+        self._routing_cache = None
+        if self._now is not None or self._seq:
+            # Adopt the global cursor so queries registered or migrated
+            # here join at the same seq as everywhere else.
+            self._request(index, (protocol.CURSOR,
+                                  (self._now, self._seq)))
+        return index
+
+    def drain_worker(self, shard: int) -> List[MigrationRecord]:
+        """Gracefully retire one worker (shard merge / scale-down):
+        migrate every query it hosts onto the remaining live shards,
+        stop the process, and take the shard out of placement for good.
+        Unlike a crash quarantine, a retired shard does not degrade
+        :meth:`health`.  Returns the drain migrations' records."""
+        self._ensure_open()
+        if not 0 <= shard < len(self._workers):
+            raise KeyError(f"no shard {shard}")
+        handle = self._workers[shard]
+        if not handle.alive:
+            raise ValueError(f"shard {shard} is not live")
+        # Staged migrations may target (or source from) this shard;
+        # land them first so the member list below is final.
+        self._migrations.finish_all()
+        hosted = self._placement.members(shard)
+        others = [s for s in self._placement.live_shards() if s != shard]
+        if hosted and not others:
+            raise RuntimeError(
+                f"cannot drain shard {shard}: it is the last live "
+                f"worker and still hosts {len(hosted)} queries")
+        records = [self._migrations.migrate(query_id, reason="drain")
+                   for query_id in hosted]
+        try:
+            handle.conn.send((protocol.STOP, None))
+            if handle.conn.poll(timeout=5):
+                handle.conn.recv()
+        except (OSError, EOFError, BrokenPipeError):
+            pass
+        handle.process.join(timeout=5)
+        if handle.process.is_alive():
+            handle.process.terminate()
+            handle.process.join(timeout=1)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        handle.alive = False
+        handle.retired = True
+        self._placement.retire(shard)
+        self._shard_interest.pop(shard, None)
+        self._routing_cache = None
+        self._shard_expiries[shard].clear()
+        return records
+
+    @property
+    def migration_history(self) -> List[MigrationRecord]:
+        """Every completed migration, in completion order."""
+        return list(self._migrations.history)
+
+    def migration_state(self) -> Dict[str, object]:
+        """A JSON-ready view of in-flight and completed migrations
+        (served on ``/varz`` and in the CLI report)."""
+        return self._migrations.state()
+
+    def placement_snapshot(self) -> Dict[str, object]:
+        """The live placement map: policy, per-query shard assignment,
+        and per-shard status/membership."""
+        placement = self._placement
+        shards = {}
+        for handle in self._workers:
+            shard = handle.index
+            shards[str(shard)] = {
+                "alive": handle.alive,
+                "retired": handle.retired,
+                "quarantined": placement.is_quarantined(shard),
+                "queries": placement.members(shard),
+            }
+        return {
+            "policy": placement.policy,
+            "workers": len(self._workers),
+            "assignments": {info.query_id: info.shard
+                            for info in self._infos_in_order()},
+            "shards": shards,
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -722,8 +915,10 @@ class ShardedMatchService:
         own mirror — no worker round trips, so the admin server's
         thread can call it concurrently with a live ingest
         (:class:`repro.obs.server.AdminServer` wires it to
-        ``/healthz``).  ``status`` is ``"ok"`` while every shard worker
-        is alive, else ``"degraded"``."""
+        ``/healthz``).  ``status`` is ``"ok"`` while every
+        non-retired shard worker is alive, else ``"degraded"`` — a
+        gracefully drained worker is planned downsizing, not an
+        incident."""
         infos = list(self._queries.values())
         shards = []
         for handle in self._workers:
@@ -734,11 +929,16 @@ class ShardedMatchService:
                           and not info.active)
             shards.append({"shard": handle.index,
                            "alive": handle.alive,
+                           "retired": handle.retired,
                            "queries": queries,
                            "errored_queries": errored})
         live = sum(1 for s in shards if s["alive"])
-        return {"status": "ok" if live == len(shards) else "degraded",
+        retired = sum(1 for s in shards if s["retired"])
+        degraded = any(not s["alive"] and not s["retired"]
+                       for s in shards)
+        return {"status": "degraded" if degraded else "ok",
                 "workers": len(shards), "live_workers": live,
+                "retired_workers": retired,
                 "closed": self._closed, "shards": shards}
 
     def _export_metrics(self) -> None:
@@ -787,12 +987,19 @@ class ShardedMatchService:
                       "1 while the shard worker is serving",
                       shard=label).set(
                           1 if self._workers[shard].alive else 0)
+            obs.gauge("cluster_worker_retired",
+                      "1 after the shard was gracefully drained",
+                      shard=label).set(
+                          1 if self._workers[shard].retired else 0)
 
     # ------------------------------------------------------------------
     # Checkpoint hooks (used by repro.cluster.checkpoint)
     # ------------------------------------------------------------------
     def shard_snapshots(self) -> Dict[int, Dict[str, object]]:
-        """Per-live-shard :mod:`repro.service.checkpoint` snapshots."""
+        """Per-live-shard :mod:`repro.service.checkpoint` snapshots.
+        Staged migrations are landed first so every query is hosted
+        somewhere when the snapshot is cut."""
+        self._migrations.finish_all()
         replies = self._broadcast((protocol.SNAPSHOT, None))
         return {shard: reply.payload for shard, reply in replies.items()}
 
@@ -809,31 +1016,19 @@ class ShardedMatchService:
         shard = self._placement.place(
             spec.query_id, interest=query_pattern_keys(spec.query))
         try:
-            code = self._intern_codes.get(spec.query_id)
-            if code is None:
-                code = len(self._intern_names)
-                self._intern_codes[spec.query_id] = code
-                self._intern_names.append(spec.query_id)
-            if code not in self._synced_codes[shard]:
-                # Sync the query id's interned code before the worker
-                # can ever need it to pack a binary reply.
-                self._request(shard, (protocol.INTERN,
-                                      ((code, spec.query_id),)))
-                self._synced_codes[shard].add(code)
-            reply = self._request(shard, (protocol.REGISTER, spec))
+            self._sync_code(shard, spec.query_id)
+            self._request(shard, (protocol.REGISTER, spec))
         except Exception:
             self._placement.remove(spec.query_id)
             raise
-        if reply.interest is not None:
-            self._shard_interest[shard] = reply.interest
-            self._routing_cache = None
         info = _QueryInfo(
             query_id=spec.query_id, query=spec.query,
             labels=dict(spec.labels), engine_kind=kind,
             custom_factory=custom, shard=shard,
             reg_index=next(self._reg_counter),
             collect_results=spec.collect_results,
-            has_edge_label_fn=spec.edge_label_fn is not None)
+            has_edge_label_fn=spec.edge_label_fn is not None,
+            engine_obj=spec.engine, edge_label_fn=spec.edge_label_fn)
         if spec.status is not None:
             info.status = QueryStatus(spec.status)
             info.error = spec.error
@@ -854,6 +1049,31 @@ class ShardedMatchService:
             return self._queries[query_id]
         except KeyError:
             raise KeyError(f"no registered query {query_id!r}") from None
+
+    def _spawn_worker(self, index: int) -> None:
+        """Start shard worker ``index`` and append its handle."""
+        ctx = self._ctx
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(
+            target=shard_worker_main,
+            args=(child_conn, self.delta, self.routed,
+                  self.metrics is not None, self.tracer is not None),
+            name=f"repro-shard-{index}", daemon=True)
+        process.start()
+        child_conn.close()
+        self._workers.append(_WorkerHandle(index, process, parent_conn))
+
+    def _sync_code(self, shard: int, query_id: str) -> None:
+        """Ensure ``shard`` knows the query id's interned code before
+        any binary reply could need it."""
+        code = self._intern_codes.get(query_id)
+        if code is None:
+            code = len(self._intern_names)
+            self._intern_codes[query_id] = code
+            self._intern_names.append(query_id)
+        if code not in self._synced_codes[shard]:
+            self._request(shard, (protocol.INTERN, ((code, query_id),)))
+            self._synced_codes[shard].add(code)
 
     def _new_query_id(self, query_id: Optional[str]) -> str:
         if query_id is None:
@@ -953,6 +1173,12 @@ class ShardedMatchService:
     def _account(self, reply: Reply, shard: int) -> None:
         """Fold a reply's piggybacked bookkeeping into the mirror."""
         self._apply_errors(reply.errors)
+        if reply.interest is not None:
+            # Register/unregister/migrate acks carry the shard's fresh
+            # interest summary; adopting it here keeps routing correct
+            # no matter which path moved a query.
+            self._shard_interest[shard] = reply.interest
+            self._routing_cache = None
         self.stats.events_routed += reply.routed
         self.stats.events_skipped += reply.skipped
         self.shard_routed[shard] += reply.routed
@@ -1084,6 +1310,10 @@ class ShardedMatchService:
             info.error = (f"worker {shard} crashed "
                           f"({type(cause).__name__})")
             self.stats.errored_queries += 1
+        if self.auto_recover:
+            # Deferred to the next batch boundary: quarantine can fire
+            # mid-exchange, where re-homing would race the merge.
+            self._migrations.needs_recovery = True
 
     def _apply_errors(self, errors: Tuple[Tuple[str, str], ...]) -> None:
         """Mirror worker-side quarantines announced on a reply."""
@@ -1106,7 +1336,11 @@ class ShardedMatchService:
             notifications: List[MatchNotification] = []
             for reply in replies.values():
                 notifications.extend(reply.payload)
-            if len(replies) > 1:
+            # A single shard's stream arrives in its worker's *local*
+            # registry order; once a migration has landed anywhere that
+            # order may disagree with global registration order, so the
+            # sort can no longer be skipped even for one reply.
+            if len(replies) > 1 or self._migrations.permuted:
                 reg_index = {query_id: info.reg_index
                              for query_id, info in self._queries.items()}
                 notifications.sort(key=lambda n: (

@@ -1,0 +1,545 @@
+"""Live query migration and elastic resharding for the cluster.
+
+This module is the control plane that turns the coordinator's static
+query->shard assignment into a live mapping.  The primitive is a
+single-query **migration**:
+
+1. the coordinator detaches the query from its source worker
+   (``MIGRATE_OUT``), receiving its status, counters, collected results
+   and — crucially — the ``(edge, seq)`` pairs currently inside its
+   engine window;
+2. while the query is in flight, the coordinator buffers any routed
+   event the query would have received in a bounded *tail* (staged
+   migrations only; the atomic path never leaves the batch boundary);
+3. it ships a :class:`~repro.cluster.protocol.MigrationTicket` to the
+   target worker (``MIGRATE_IN``), which rebuilds the engine by
+   silently replaying the window, live-replays the tail, and merges the
+   surviving pairs into its own live deque;
+4. the routing entry flips: placement, the coordinator mirror and the
+   per-shard interest summaries (piggybacked on both migration acks)
+   all agree before the next batch is routed.
+
+Run at a batch boundary with an empty tail — :meth:`MigrationManager.
+migrate` — the hop is invisible: the merged notification stream is
+byte-identical to a never-migrated run, because the window replay emits
+nothing (the source already accounted those arrivals) and no event
+arrives while the query is detached.  The staged pair
+(:meth:`~MigrationManager.begin` / :meth:`~MigrationManager.finish`)
+trades that for bounded pause buffering: tail-replay notifications are
+content-complete but delivered at finish time, i.e. later than a
+never-migrated run would have emitted them.
+
+On top of the primitive sit the elastic operations the coordinator
+re-exports: ``rebalance()`` (planned from per-query load via
+:meth:`~repro.cluster.placement.ShardPlacement.plan_rebalance`),
+``add_worker()``/``drain_worker()`` for shard split/merge, and
+``recover()``, which re-homes the queries stranded on a quarantined
+worker onto healthy shards from their last coordinator-cached counters
+(fresh join at the current global cursor — the same honest empty-window
+semantics as a checkpoint restore).
+
+Every completed hop appends a :class:`MigrationRecord` to the history
+(surfaced via ``/varz`` and the CLI report) and, when observability is
+on, increments per-reason counters, observes a latency histogram and
+opens a ``migration`` root span with the worker-side ``migrate_out``/
+``migrate_in`` spans as children.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster import protocol, wire
+from repro.cluster.protocol import (
+    MigrationSource, MigrationTicket, RegisterSpec,
+)
+from repro.graph.temporal_graph import Edge
+from repro.obs.trace import maybe_span
+from repro.service.interest import QueryInterestIndex, query_pattern_keys
+from repro.service.registry import QueryStatus
+
+#: Default bound on a staged migration's event tail; reaching it forces
+#: the migration to finish at the next batch boundary.
+DEFAULT_MAX_TAIL = 10_000
+
+
+class MigrationError(RuntimeError):
+    """A live migration could not start or complete."""
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One completed migration, as kept in the coordinator's history."""
+
+    query_id: str
+    source: int
+    target: int
+    reason: str
+    window_edges: int
+    tail_events: int
+    #: Global arrival cursor at the moment the routing entry flipped.
+    seq: int
+    elapsed_seconds: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "query_id": self.query_id, "source": self.source,
+            "target": self.target, "reason": self.reason,
+            "window_edges": self.window_edges,
+            "tail_events": self.tail_events, "seq": self.seq,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass
+class _Pending:
+    """A staged migration between ``begin`` and ``finish``."""
+
+    query_id: str
+    source: int
+    target: Optional[int]
+    src: MigrationSource
+    reason: str
+    max_tail: int
+    started: float
+    #: One-query interest index deciding which routed events join the
+    #: tail; ``None`` buffers everything (broadcast mode / custom
+    #: factories — the conservative always-interested cases).
+    interest: Optional[QueryInterestIndex]
+    tail: List[Tuple[Edge, int]] = field(default_factory=list)
+    drained: bool = False
+
+
+class MigrationManager:
+    """The coordinator's migration state machine.
+
+    A friend object of :class:`~repro.cluster.coordinator.
+    ShardedMatchService` (it drives the service's private RPC plane and
+    mirrors); the service re-exports the public operations.
+    """
+
+    def __init__(self, service):
+        self._svc = service
+        self._pending: Dict[str, _Pending] = {}
+        self.history: List[MigrationRecord] = []
+        #: Set by the coordinator's quarantine path under
+        #: ``auto_recover``; drained at the next batch boundary.
+        self.needs_recovery = False
+        #: Flipped once any migration lands: a migrated query registers
+        #: at the *end* of its target worker's local registry, so one
+        #: shard's notification stream may no longer follow global
+        #: registration order — the coordinator's merge must sort even
+        #: single-shard replies from then on.
+        self.permuted = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def is_pending(self, query_id: str) -> bool:
+        return query_id in self._pending
+
+    def state(self) -> Dict[str, object]:
+        """A JSON-ready view of in-flight and completed migrations."""
+        return {
+            "pending": [
+                {"query_id": p.query_id, "source": p.source,
+                 "target": p.target, "reason": p.reason,
+                 "tail_events": len(p.tail), "max_tail": p.max_tail,
+                 "drained": p.drained}
+                for p in self._pending.values()],
+            "completed": len(self.history),
+            "history": [record.to_dict()
+                        for record in self.history[-32:]],
+        }
+
+    # ------------------------------------------------------------------
+    # The migration primitive
+    # ------------------------------------------------------------------
+    def migrate(self, query_id: str, target: Optional[int] = None, *,
+                reason: str = "manual") -> MigrationRecord:
+        """Atomically move one query to ``target`` (policy-chosen when
+        ``None``) inside the current batch boundary.
+
+        The pause window is empty — detach, restore and routing flip
+        happen back-to-back with no ingest in between — so the merged
+        notification stream stays byte-identical to a never-migrated
+        run.  Returns the completed :class:`MigrationRecord`.
+        """
+        svc = self._svc
+        info, source = self._checked(query_id, target)
+        if target is None:
+            # Fail before detaching: a query pulled off its source with
+            # nowhere to land would be lost.
+            try:
+                svc._placement.select_target(
+                    query_pattern_keys(info.query), exclude={source})
+            except RuntimeError as exc:
+                raise MigrationError(str(exc)) from None
+        started = time.perf_counter()
+        with maybe_span(svc.tracer, "migration", query=query_id,
+                        reason=reason) as root:
+            ctx = ((root.trace_id, root.span_id)
+                   if svc.tracer is not None else None)
+            src = self._detach(info, ctx)
+            ticket = self._ticket(info, src, tail=(),
+                                  final_now=svc._now, drained=False)
+            target, notes = self._restore(info, ticket, target, ctx)
+        record = self._completed(info, source, target, reason,
+                                 len(src.window), 0, started)
+        svc._deliver(notes)
+        return record
+
+    def begin(self, query_id: str, target: Optional[int] = None, *,
+              max_tail: int = DEFAULT_MAX_TAIL,
+              reason: str = "staged") -> int:
+        """Detach ``query_id`` and start buffering its routed events.
+
+        The query is paused: until :meth:`finish`, events it would have
+        received accumulate in a bounded tail (at most ``max_tail``;
+        overflowing forces a finish at the next batch boundary).
+        Returns the planned target shard.
+        """
+        if max_tail < 1:
+            raise ValueError("max_tail must be positive")
+        svc = self._svc
+        info, source = self._checked(query_id, target)
+        if target is None:
+            target = svc._placement.select_target(
+                query_pattern_keys(info.query), exclude={source})
+        interest: Optional[QueryInterestIndex] = None
+        if svc.routed and not info.custom_factory:
+            interest = QueryInterestIndex()
+            interest.add(query_id, info.query, info.labels,
+                         info.edge_label_fn)
+        src = self._detach(info, None)
+        self._pending[query_id] = _Pending(
+            query_id=query_id, source=source, target=target, src=src,
+            reason=reason, max_tail=max_tail,
+            started=time.perf_counter(), interest=interest)
+        self._set_pending_gauge()
+        return target
+
+    def finish(self, query_id: str) -> List:
+        """Complete a staged migration: restore on the target, replay
+        the buffered tail, flip the routing entry.  Returns the
+        tail-replay notifications (already delivered to subscribers)."""
+        svc = self._svc
+        try:
+            pending = self._pending.pop(query_id)
+        except KeyError:
+            raise MigrationError(
+                f"no migration in progress for {query_id!r}") from None
+        self._set_pending_gauge()
+        info = svc._get_info(query_id)
+        with maybe_span(svc.tracer, "migration", query=query_id,
+                        reason=pending.reason,
+                        tail=len(pending.tail)) as root:
+            ctx = ((root.trace_id, root.span_id)
+                   if svc.tracer is not None else None)
+            ticket = self._ticket(info, pending.src,
+                                  tail=tuple(pending.tail),
+                                  final_now=svc._now,
+                                  drained=pending.drained)
+            target, notes = self._restore(info, ticket, pending.target,
+                                          ctx, exclude={pending.source})
+        self._completed(info, pending.source, target, pending.reason,
+                        len(pending.src.window), len(pending.tail),
+                        pending.started)
+        svc._deliver(notes)
+        return notes
+
+    def finish_all(self) -> None:
+        """Complete every staged migration (checkpoints and drains call
+        this so no query is registered nowhere)."""
+        for query_id in list(self._pending):
+            self.finish(query_id)
+
+    # ------------------------------------------------------------------
+    # Batch-boundary hooks (called from the coordinator's ingest path)
+    # ------------------------------------------------------------------
+    def before_batch(self) -> None:
+        """Housekeeping at the top of an ingest batch: auto-recover
+        queries stranded by a crash (when enabled) and force-finish any
+        staged migration whose tail reached its bound."""
+        if self.needs_recovery:
+            self.needs_recovery = False
+            try:
+                self.recover()
+            except MigrationError:
+                # No healthy target left; the stranded queries stay
+                # errored until a worker is added.
+                pass
+        if self._pending:
+            for query_id in [p.query_id for p in self._pending.values()
+                             if len(p.tail) >= p.max_tail]:
+                self.finish(query_id)
+
+    def buffer(self, prefix: List[Edge], base_seq: int) -> None:
+        """Append this batch's events to every pending tail (interest
+        filtered, exactly as the detached query would have been
+        routed)."""
+        if not self._pending:
+            return
+        for pending in self._pending.values():
+            index = pending.interest
+            if index is None:
+                pending.tail.extend(
+                    (edge, base_seq + offset)
+                    for offset, edge in enumerate(prefix))
+            else:
+                query_id = pending.query_id
+                pending.tail.extend(
+                    (edge, base_seq + offset)
+                    for offset, edge in enumerate(prefix)
+                    if query_id in index.lookup_ids(edge))
+
+    def note_drain(self) -> None:
+        """The stream was drained while migrations were staged: their
+        private windows must flush completely at finish.  The buffered
+        tail is kept — those arrivals still owe their match
+        notifications; the ``drained`` flag makes the finish-time
+        replay expire everything once they have been processed."""
+        for pending in self._pending.values():
+            pending.drained = True
+
+    # ------------------------------------------------------------------
+    # Elastic operations
+    # ------------------------------------------------------------------
+    def rebalance(self, *, tolerance: float = 0.1,
+                  max_moves: Optional[int] = None,
+                  signal: str = "events") -> List[MigrationRecord]:
+        """Plan and execute migrations that even out per-shard load.
+
+        ``signal`` selects the per-query load figure: ``"events"``
+        (events processed — the driver of ``events_routed`` skew) or
+        ``"busy"`` (engine busy-seconds).  Returns the completed
+        records (empty when the cluster is already within
+        ``tolerance``).
+        """
+        if signal not in ("events", "busy"):
+            raise ValueError(f"unknown rebalance signal {signal!r}; "
+                             f"known: ['events', 'busy']")
+        svc = self._svc
+        by_id = {stats.query_id: stats
+                 for stats in svc.all_query_stats()}
+        load: Dict[str, float] = {}
+        for info in svc._infos_in_order():
+            if not info.active or info.query_id in self._pending:
+                continue
+            stats = by_id.get(info.query_id)
+            if stats is None:
+                continue
+            load[info.query_id] = float(
+                stats.events_processed if signal == "events"
+                else stats.elapsed_seconds)
+        plan = svc._placement.plan_rebalance(
+            load, tolerance=tolerance, max_moves=max_moves)
+        return [self.migrate(query_id, target, reason="rebalance")
+                for query_id, _, target in plan]
+
+    def recover(self, shard: Optional[int] = None
+                ) -> List[MigrationRecord]:
+        """Re-home the queries stranded on quarantined workers.
+
+        Each stranded query re-registers on a healthy shard from the
+        coordinator's cached spec and last-known counters, joining at
+        the *current* global cursor with an empty window (its live
+        window died with the worker — the same honest semantics as a
+        checkpoint restore).  Queries the crash quarantined flip back
+        to active; queries that had already errored on their own stay
+        errored.  Raises :class:`MigrationError` when no healthy
+        target exists.
+        """
+        svc = self._svc
+        records: List[MigrationRecord] = []
+        for info in svc._infos_in_order():
+            source = info.shard
+            if shard is not None and source != shard:
+                continue
+            if svc._workers[source].alive:
+                continue
+            if not svc._placement.is_quarantined(source):
+                continue
+            crashed = bool(info.error) and info.error.startswith(
+                f"worker {source} crashed")
+            stats = svc._lost_stats(info)
+            started = time.perf_counter()
+            with maybe_span(svc.tracer, "migration",
+                            query=info.query_id, reason="recover") as root:
+                ctx = ((root.trace_id, root.span_id)
+                       if svc.tracer is not None else None)
+                ticket = MigrationTicket(
+                    spec=self._spec(info), joined_seq=svc._seq,
+                    status=("active" if crashed
+                            else info.status.value),
+                    error=None if crashed else info.error,
+                    stats=stats, result=None, final_now=svc._now)
+                target, _ = self._restore(info, ticket, None, ctx)
+            if crashed:
+                info.status = QueryStatus.ACTIVE
+                info.error = None
+            info.last_stats = stats
+            records.append(self._completed(
+                info, source, target, "recover", 0, 0, started))
+        return records
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _checked(self, query_id: str, target: Optional[int]):
+        """Validate a migration request; returns ``(info, source)``."""
+        svc = self._svc
+        info = svc._get_info(query_id)
+        if query_id in self._pending:
+            raise MigrationError(
+                f"query {query_id!r} is already migrating")
+        source = info.shard
+        if not svc._workers[source].alive:
+            raise MigrationError(
+                f"query {query_id!r} is stranded on dead shard "
+                f"{source}; use recover_quarantined()")
+        if target is not None:
+            if target == source:
+                raise ValueError(
+                    f"query {query_id!r} already lives on shard "
+                    f"{target}")
+            handle = (svc._workers[target]
+                      if 0 <= target < len(svc._workers) else None)
+            if handle is None or not handle.alive:
+                raise ValueError(f"target shard {target} is not live")
+        return info, source
+
+    def _detach(self, info, ctx) -> MigrationSource:
+        """MIGRATE_OUT round trip (the interest summary on its ack
+        stops the router shipping the query's events to the source)."""
+        svc = self._svc
+        message = ((protocol.MIGRATE_OUT, info.query_id, ctx)
+                   if ctx is not None
+                   else (protocol.MIGRATE_OUT, info.query_id))
+        return svc._request(info.shard, message).payload
+
+    def _spec(self, info) -> RegisterSpec:
+        return RegisterSpec(
+            query_id=info.query_id, query=info.query,
+            labels=dict(info.labels), engine=info.engine_obj,
+            edge_label_fn=info.edge_label_fn,
+            collect_results=info.collect_results)
+
+    def _ticket(self, info, src: MigrationSource,
+                tail: Tuple[Tuple[Edge, int], ...],
+                final_now: Optional[int],
+                drained: bool) -> MigrationTicket:
+        return MigrationTicket(
+            spec=self._spec(info), joined_seq=src.joined_seq,
+            status=src.status, error=src.error, stats=src.stats,
+            result=src.result, window=src.window, tail=tail,
+            final_now=final_now, drained=drained)
+
+    def _restore(self, info, ticket: MigrationTicket,
+                 target: Optional[int], ctx,
+                 exclude: Tuple[int, ...] = ()) -> Tuple[int, List]:
+        """MIGRATE_IN with crash retry: the ticket is self-contained,
+        so if the chosen target dies mid-restore the same ticket is
+        re-sent to the next healthy policy pick.  Updates placement,
+        the coordinator mirror and the target's expiry schedule on
+        success."""
+        from repro.cluster.coordinator import WorkerCrashError
+        svc = self._svc
+        banned = {info.shard, *exclude}
+        while True:
+            if target is None or not svc._workers[target].alive:
+                try:
+                    target = svc._placement.select_target(
+                        query_pattern_keys(info.query),
+                        exclude=banned)
+                except RuntimeError:
+                    self._lost(info)
+                    raise MigrationError(
+                        f"no live worker left to host "
+                        f"{info.query_id!r}") from None
+            try:
+                svc._sync_code(target, info.query_id)
+                if svc.binary:
+                    message = wire.encode_migrate_in(ticket, trace=ctx)
+                elif ctx is not None:
+                    message = (protocol.MIGRATE_IN, ticket, ctx)
+                else:
+                    message = (protocol.MIGRATE_IN, ticket)
+                reply = svc._request(target, message)
+            except WorkerCrashError:
+                banned.add(target)
+                target = None
+                continue
+            svc._placement.move(info.query_id, target)
+            info.shard = target
+            self.permuted = True
+            self._adopt_expiries(target, ticket)
+            return target, (reply.payload or [])
+
+    def _adopt_expiries(self, target: int,
+                        ticket: MigrationTicket) -> None:
+        """Merge the migrated window/tail expiry times into the
+        target's clock-advance schedule, so the coordinator keeps
+        sending it advance frames while those edges are due (spurious
+        duplicates are harmless — an advance frame for an already-
+        flushed expiry produces no output)."""
+        svc = self._svc
+        now = svc._now
+        fresh = [edge.t + svc.delta
+                 for edge, _ in (*ticket.window, *ticket.tail)
+                 if now is None or edge.t + svc.delta > now]
+        if not fresh:
+            return
+        due = svc._shard_expiries[target]
+        due.extend(fresh)
+        svc._shard_expiries[target] = type(due)(sorted(due))
+
+    def _lost(self, info) -> None:
+        """Every candidate target died mid-restore: the query's state
+        is gone; quarantine it coordinator-side."""
+        svc = self._svc
+        if info.active:
+            info.status = QueryStatus.ERRORED
+            info.error = "lost during migration: no live target worker"
+            svc.stats.errored_queries += 1
+
+    def _completed(self, info, source: int, target: int, reason: str,
+                   window_edges: int, tail_events: int,
+                   started: float) -> MigrationRecord:
+        svc = self._svc
+        record = MigrationRecord(
+            query_id=info.query_id, source=source, target=target,
+            reason=reason, window_edges=window_edges,
+            tail_events=tail_events, seq=svc._seq,
+            elapsed_seconds=time.perf_counter() - started)
+        self.history.append(record)
+        obs = svc.metrics
+        if obs is not None:
+            obs.counter("cluster_migrations_total",
+                        "live query migrations completed",
+                        reason=reason).inc()
+            obs.histogram("cluster_migration_seconds",
+                          "wall-clock per completed migration"
+                          ).observe(record.elapsed_seconds)
+            obs.counter("cluster_migration_window_edges_total",
+                        "window edges shipped inside migration tickets"
+                        ).inc(window_edges)
+            obs.counter("cluster_migration_tail_events_total",
+                        "buffered events replayed at migration finish"
+                        ).inc(tail_events)
+        return record
+
+    def _set_pending_gauge(self) -> None:
+        obs = self._svc.metrics
+        if obs is not None:
+            obs.gauge("cluster_migrations_pending",
+                      "staged migrations awaiting finish"
+                      ).set(len(self._pending))
+
+
+__all__ = [
+    "DEFAULT_MAX_TAIL", "MigrationError", "MigrationManager",
+    "MigrationRecord",
+]

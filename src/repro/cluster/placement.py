@@ -18,11 +18,23 @@ and for reproducible benchmarks):
 Quarantined shards stop receiving placements but keep their membership
 records, so the coordinator can still enumerate (and unregister) the
 queries that were lost with a crashed worker.
+
+Since the live-migration refactor the placement is a *live* policy
+object, not a registration-time constant: assignments move
+(:meth:`ShardPlacement.move`), shards appear (:meth:`~ShardPlacement.
+add_shard`) and retire gracefully (:meth:`~ShardPlacement.retire`,
+distinct from a crash quarantine), targets can be chosen without
+mutating (:meth:`~ShardPlacement.select_target`), and
+:meth:`~ShardPlacement.plan_rebalance` turns per-query load figures
+into a deterministic list of migrations.  Every decision breaks ties on
+the lowest shard index over the *sorted* live-shard list, so placements
+— and therefore migration plans — are reproducible across runs
+regardless of add/retire churn.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 #: Valid placement policies.
 POLICIES = ("least_loaded", "interest")
@@ -44,6 +56,7 @@ class ShardPlacement:
             shard: {} for shard in range(num_shards)}
         self._shard_of: Dict[str, int] = {}
         self._quarantined: set = set()
+        self._retired: set = set()
         #: Interest keys recorded per query (interest policy only).
         self._keys: Dict[str, FrozenSet] = {}
         #: Per-shard multiset of hosted interest keys.
@@ -55,8 +68,28 @@ class ShardPlacement:
         return len(self._members)
 
     def live_shards(self) -> List[int]:
-        """Shards still eligible for placement, in index order."""
-        return [s for s in self._members if s not in self._quarantined]
+        """Shards still eligible for placement, in ascending index
+        order — explicitly sorted, so every policy's lowest-index tie
+        break stays deterministic no matter how shards were added,
+        quarantined or retired."""
+        return sorted(s for s in self._members
+                      if s not in self._quarantined
+                      and s not in self._retired)
+
+    def select_target(self, interest: Optional[FrozenSet] = None, *,
+                      exclude: Iterable[int] = ()) -> int:
+        """The live shard the active policy would pick right now,
+        without recording a placement (used to choose migration
+        targets).  ``exclude`` removes candidate shards (typically the
+        migration source)."""
+        banned = set(exclude)
+        live = [s for s in self.live_shards() if s not in banned]
+        if not live:
+            raise RuntimeError("no live shards left to place queries on")
+        if self.policy == "interest" and interest:
+            return min(live, key=lambda s: (
+                -self._overlap(s, interest), len(self._members[s]), s))
+        return min(live, key=lambda s: (len(self._members[s]), s))
 
     def place(self, query_id: str,
               interest: Optional[FrozenSet] = None) -> int:
@@ -68,14 +101,7 @@ class ShardPlacement:
         """
         if query_id in self._shard_of:
             raise ValueError(f"query {query_id!r} already placed")
-        live = self.live_shards()
-        if not live:
-            raise RuntimeError("no live shards left to place queries on")
-        if self.policy == "interest" and interest:
-            shard = min(live, key=lambda s: (
-                -self._overlap(s, interest), len(self._members[s]), s))
-        else:
-            shard = min(live, key=lambda s: (len(self._members[s]), s))
+        shard = self.select_target(interest)
         self._members[shard][query_id] = None
         self._shard_of[query_id] = shard
         if interest:
@@ -84,6 +110,100 @@ class ShardPlacement:
             for key in interest:
                 counts[key] = counts.get(key, 0) + 1
         return shard
+
+    def move(self, query_id: str, target: int) -> int:
+        """Reassign ``query_id`` to ``target``; returns the shard it
+        left.  Moving *off* a quarantined shard is allowed (that is how
+        stranded queries recover); moving *onto* a dead or retired
+        shard is not."""
+        if target not in self._members:
+            raise KeyError(f"no shard {target}")
+        if target in self._quarantined or target in self._retired:
+            raise ValueError(f"shard {target} is not live")
+        source = self._shard_of[query_id]
+        if source == target:
+            return source
+        self._members[source].pop(query_id, None)
+        self._members[target][query_id] = None
+        self._shard_of[query_id] = target
+        keys = self._keys.get(query_id)
+        if keys:
+            for shard, step in ((source, -1), (target, +1)):
+                counts = self._shard_keys[shard]
+                for key in keys:
+                    remaining = counts.get(key, 0) + step
+                    if remaining > 0:
+                        counts[key] = remaining
+                    else:
+                        counts.pop(key, None)
+        return source
+
+    def add_shard(self) -> int:
+        """Grow the placement by one (empty, live) shard; returns its
+        index.  Indices are never reused — retired and quarantined
+        shards keep theirs — so they stay aligned with the
+        coordinator's worker list."""
+        index = len(self._members)
+        self._members[index] = {}
+        self._shard_keys[index] = {}
+        return index
+
+    def retire(self, shard: int) -> None:
+        """Take an (emptied) shard out of rotation for good — the
+        graceful counterpart of :meth:`quarantine`: retiring is planned,
+        so it refuses while queries are still assigned."""
+        if self._members[shard]:
+            raise ValueError(
+                f"shard {shard} still hosts "
+                f"{len(self._members[shard])} queries; move them first")
+        self._retired.add(shard)
+
+    def is_retired(self, shard: int) -> bool:
+        return shard in self._retired
+
+    def plan_rebalance(self, query_load: Dict[str, float], *,
+                       tolerance: float = 0.1,
+                       max_moves: Optional[int] = None
+                       ) -> List[Tuple[str, int, int]]:
+        """A deterministic list of ``(query_id, source, target)`` moves
+        that evens out per-shard load.
+
+        ``query_load`` maps query ids to a non-negative load figure
+        (events processed, busy seconds, ...); a shard's load is the sum
+        over its hosted queries.  Moves are planned greedily: take the
+        heaviest viable query off the most loaded shard onto the least
+        loaded one, where *viable* means the move strictly shrinks the
+        gap between them, until the heaviest/lightest gap is within
+        ``tolerance`` of the mean shard load.  Planning only — the
+        caller performs the migrations.
+        """
+        live = self.live_shards()
+        if len(live) < 2:
+            return []
+        members = {s: list(self._members[s]) for s in live}
+        loads = {s: float(sum(query_load.get(q, 0.0) for q in members[s]))
+                 for s in live}
+        mean = sum(loads.values()) / len(live)
+        if mean <= 0.0:
+            return []
+        moves: List[Tuple[str, int, int]] = []
+        while max_moves is None or len(moves) < max_moves:
+            source = max(live, key=lambda s: (loads[s], -s))
+            target = min(live, key=lambda s: (loads[s], s))
+            gap = loads[source] - loads[target]
+            if gap <= tolerance * mean:
+                break
+            viable = [(query_load.get(q, 0.0), q) for q in members[source]
+                      if 0.0 < query_load.get(q, 0.0) < gap]
+            if not viable:
+                break
+            load, query_id = max(viable)
+            moves.append((query_id, source, target))
+            members[source].remove(query_id)
+            members[target].append(query_id)
+            loads[source] -= load
+            loads[target] += load
+        return moves
 
     def _overlap(self, shard: int, interest: FrozenSet) -> int:
         """How many of ``interest``'s keys the shard already hosts."""

@@ -54,6 +54,8 @@ QUERY_STATS = "query_stats"  # payload: query_id
 QUARANTINE = "quarantine"    # payload: (query_id, error message)
 CURSOR = "cursor"            # payload: (now, seq) — checkpoint restore
 INTERN = "intern"            # payload: tuple of (code, string) pairs
+MIGRATE_OUT = "migrate_out"  # payload: query_id -> MigrationSource
+MIGRATE_IN = "migrate_in"    # payload: MigrationTicket
 INGEST = "ingest"            # payload: list of edges (validated prefix)
 INGEST_BATCH = "ingest_batch"  # payload: edges; engines see on_batch
 INGEST_ROUTED = "ingest_routed"  # payload: RoutedBatch (interest-routed)
@@ -101,6 +103,59 @@ class RegisterSpec:
     status: Optional[str] = None
     error: Optional[str] = None
     stats: Optional[Dict[str, object]] = None
+
+
+@dataclass(frozen=True)
+class MigrationSource:
+    """MIGRATE_OUT reply: everything the source worker knew about one
+    query at the moment it was detached.
+
+    ``window`` holds the ``(edge, global seq)`` pairs the query's engine
+    currently has inside the sliding window — exactly the subset of the
+    worker's live deque the query was eligible for (seq at or after its
+    join cursor, interest-positive under routing).  The engine object
+    itself is *not* shipped: engine state is derived data, rebuilt on the
+    target by replaying ``window`` (the same contract the checkpoint
+    modules rely on).  ``result`` moves with the query so collected
+    matches survive the hop.
+    """
+
+    status: str
+    error: Optional[str]
+    stats: QueryStats
+    result: Optional[StreamResult]
+    joined_seq: int
+    window: Tuple[Tuple[Edge, int], ...]
+
+
+@dataclass(frozen=True)
+class MigrationTicket:
+    """MIGRATE_IN payload: one query's portable state, target-bound.
+
+    Assembled by the coordinator from a :class:`MigrationSource` plus
+    the registration spec it already mirrors.  ``tail`` carries the
+    events that arrived (and matched the query's interest) while the
+    query was detached — empty on the atomic migration path, where the
+    hop completes inside one batch boundary.  ``final_now`` is the
+    global clock at restore time, so the target can privately expire any
+    window/tail edge whose window closed while the query was in flight;
+    ``drained`` records that the stream was drained mid-flight (the
+    private window must be flushed completely and nothing re-enters the
+    live deque).  The ticket is idempotent and retryable: if the target
+    dies mid-restore the coordinator re-sends the same ticket to another
+    healthy worker.
+    """
+
+    spec: RegisterSpec
+    joined_seq: int
+    status: str
+    error: Optional[str]
+    stats: QueryStats
+    result: Optional[StreamResult]
+    window: Tuple[Tuple[Edge, int], ...] = ()
+    tail: Tuple[Tuple[Edge, int], ...] = ()
+    final_now: Optional[int] = None
+    drained: bool = False
 
 
 @dataclass(frozen=True)

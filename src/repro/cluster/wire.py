@@ -39,7 +39,9 @@ ends of a ``multiprocessing.Pipe`` live on the same host.
 
 from __future__ import annotations
 
+import pickle
 from array import array
+from dataclasses import replace
 from itertools import chain
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -59,6 +61,7 @@ _MODE_INGEST = 0
 _MODE_INGEST_BATCH = 1
 _MODE_ROUTED = 2
 _MODE_ROUTED_BATCH = 3
+_MODE_MIGRATE_IN = 4
 
 #: Mode-byte flag: the frame carries a trace context — two extra ints
 #: ``(trace id, parent span id)`` prepended to the value array (see
@@ -117,6 +120,63 @@ def encode_routed(pairs: Sequence[Tuple[Edge, int]], final_now: int,
     return MAGIC_REQUEST + bytes((mode,)) + values.tobytes()
 
 
+def encode_migrate_in(ticket, *,
+                      trace: Optional[Tuple[int, int]] = None) -> bytes:
+    """A live-migration restore frame.
+
+    The bulk of a :class:`~repro.cluster.protocol.MigrationTicket` is
+    its window/tail — thousands of all-integer ``(edge, seq)`` pairs —
+    so those travel packed exactly like routed sub-batches, while the
+    control remainder of the ticket (spec, counters, collected results)
+    rides as an embedded pickle blob after the value array.  Existing
+    frame modes are untouched, so every pre-migration frame stays
+    byte-identical.
+    """
+    mode = _MODE_MIGRATE_IN
+    head: Tuple[int, ...] = ()
+    if trace is not None:
+        mode |= _FLAG_TRACED
+        head = trace
+    values = array("q", head)
+    values.append(len(ticket.window))
+    for edge, seq in ticket.window:
+        values.extend(edge)
+        values.append(seq)
+    values.append(len(ticket.tail))
+    for edge, seq in ticket.tail:
+        values.extend(edge)
+        values.append(seq)
+    body = values.tobytes()
+    blob = pickle.dumps(replace(ticket, window=(), tail=()))
+    return (MAGIC_REQUEST + bytes((mode,))
+            + len(body).to_bytes(8, "little") + body + blob)
+
+
+def _decode_migrate_in(data: bytes, traced: bool
+                       ) -> Tuple[str, object, Optional[Tuple[int, int]]]:
+    body_len = int.from_bytes(data[5:13], "little")
+    values = array("q")
+    values.frombytes(data[13:13 + body_len])
+    blob = data[13 + body_len:]
+    trace: Optional[Tuple[int, int]] = None
+    base = 0
+    if traced:
+        trace = (values[0], values[1])
+        base = 2
+
+    def pairs_at(start: int):
+        n = values[start]
+        pairs = tuple(
+            (Edge(values[i], values[i + 1], values[i + 2]), values[i + 3])
+            for i in range(start + 1, start + 1 + 4 * n, 4))
+        return pairs, start + 1 + 4 * n
+
+    window, base = pairs_at(base)
+    tail, base = pairs_at(base)
+    ticket = replace(pickle.loads(blob), window=window, tail=tail)
+    return protocol.MIGRATE_IN, ticket, trace
+
+
 def decode_request(data: bytes) -> Tuple[str, object,
                                          Optional[Tuple[int, int]]]:
     """Decode a request frame to ``(verb, payload, trace_ctx)`` with
@@ -124,6 +184,8 @@ def decode_request(data: bytes) -> Tuple[str, object,
     is the ``(trace id, parent span id)`` pair of a traced frame, else
     ``None``."""
     mode = data[4]
+    if mode & ~_FLAG_TRACED == _MODE_MIGRATE_IN:
+        return _decode_migrate_in(data, bool(mode & _FLAG_TRACED))
     values = array("q")
     values.frombytes(data[5:])
     trace: Optional[Tuple[int, int]] = None
@@ -222,6 +284,6 @@ def decode_reply(data: bytes, names: List[str]) -> Reply:
 
 __all__ = [
     "MAGIC_REPLY", "MAGIC_REQUEST", "decode_reply", "decode_request",
-    "encode_ingest", "encode_reply", "encode_routed", "is_reply_frame",
-    "is_request_frame",
+    "encode_ingest", "encode_migrate_in", "encode_reply",
+    "encode_routed", "is_reply_frame", "is_request_frame",
 ]

@@ -46,6 +46,8 @@ _TRACED_VERBS = {
     protocol.INGEST_ROUTED: "shard_ingest",
     protocol.ADVANCE: "shard_advance",
     protocol.DRAIN: "shard_drain",
+    protocol.MIGRATE_OUT: "migrate_out",
+    protocol.MIGRATE_IN: "migrate_in",
 }
 
 
@@ -113,6 +115,10 @@ class ShardWorker:
             return service.registry.get(payload).stats
         if verb == protocol.QUARANTINE:
             return self._quarantine(payload)
+        if verb == protocol.MIGRATE_OUT:
+            return self._migrate_out(payload)
+        if verb == protocol.MIGRATE_IN:
+            return self._migrate_in(payload)
         if verb == protocol.CURSOR:
             # Checkpoint restore: adopt the snapshot's stream cursor so
             # sequence numbers (and hence notification ordering keys)
@@ -149,6 +155,47 @@ class ShardWorker:
                 if not entry.active:
                     self._reported.add(query_id)
         return query_id
+
+    def _migrate_out(self, query_id: str) -> protocol.MigrationSource:
+        """Detach one query: export its engine window, drop it from the
+        registry, and return everything the coordinator needs to rebuild
+        it elsewhere.  Registry-level removal (not ``service.
+        unregister``) keeps the service's registered/unregistered
+        counters untouched — a migration is not a user-visible retire.
+        """
+        service = self.service
+        entry = service.registry.get(query_id)
+        window = service.export_query_window(entry)
+        service.registry.unregister(query_id)
+        self._reported.discard(query_id)
+        return protocol.MigrationSource(
+            status=entry.status.value, error=entry.error,
+            stats=entry.stats, result=entry.result,
+            joined_seq=entry.joined_seq, window=window)
+
+    def _migrate_in(self, ticket: protocol.MigrationTicket):
+        """Restore a migrated query from its ticket and adopt its
+        window/tail; returns the tail-replay notifications (empty on
+        the atomic path).  Registry-level registration preserves the
+        query's original global join cursor and keeps the service's
+        registration counters untouched."""
+        service = self.service
+        spec = ticket.spec
+        entry = service.registry.register(
+            spec.query, spec.labels, spec.engine,
+            query_id=spec.query_id, joined_seq=ticket.joined_seq,
+            edge_label_fn=spec.edge_label_fn,
+            collect_results=spec.collect_results)
+        entry.stats = ticket.stats
+        if ticket.result is not None:
+            entry.result = ticket.result
+        if QueryStatus(ticket.status) is not QueryStatus.ACTIVE:
+            entry.status = QueryStatus(ticket.status)
+            entry.error = ticket.error
+            self._reported.add(entry.query_id)
+        return service.adopt_query(entry, ticket.window, ticket.tail,
+                                   final_now=ticket.final_now,
+                                   drain_tail=ticket.drained)
 
     def _quarantine(self, payload: Tuple[str, str]) -> None:
         """Coordinator-initiated quarantine (a subscriber failed on the
@@ -204,7 +251,8 @@ class ShardWorker:
     def interest_for(self, verb: str):
         """The refreshed shard interest summary to piggyback, for verbs
         that change query membership (None otherwise)."""
-        if verb in (protocol.REGISTER, protocol.UNREGISTER):
+        if verb in (protocol.REGISTER, protocol.UNREGISTER,
+                    protocol.MIGRATE_OUT, protocol.MIGRATE_IN):
             return self.service.registry.interest.summary()
         return None
 

@@ -12,7 +12,9 @@ in flight*:
 * ``GET /healthz`` — JSON from the attached health callable (e.g.
   ``ShardedMatchService.health``: per-shard liveness incl. quarantine
   state); HTTP 200 while ``status == "ok"``, 503 once degraded.
-* ``GET /varz`` — the full JSON snapshot plus host metadata.
+* ``GET /varz`` — the full JSON snapshot plus host metadata, plus any
+  extra sections an attached ``varz`` callable contributes (the
+  sharded CLI adds the live placement map and migration state).
 * ``GET /tracez`` — recent completed traces from the attached tracer,
   span trees inline; 404 when tracing is off.
 * ``GET /`` — an endpoint index.
@@ -67,6 +69,12 @@ class AdminServer:
         self.registry = registry
         self.tracer = tracer
         self.health = health
+        #: Optional zero-argument callable returning extra JSON-ready
+        #: sections merged into the ``/varz`` body (the sharded CLI
+        #: attaches the live placement map and migration state here).
+        #: Like ``health``, it must read only coordinator-side mirrors
+        #: — it runs on the server thread.
+        self.varz = None
         self.host = host
         self.requests_served = 0
         self._port = port
@@ -153,6 +161,10 @@ class AdminServer:
     # Request handling (runs on the server thread)
     # ------------------------------------------------------------------
     def _handle(self, request: BaseHTTPRequestHandler) -> None:
+        # Counted before serving: a client that has read its response
+        # must already see the request reflected here (counting after
+        # the body flush races the client's next assertion).
+        self.requests_served += 1
         path = request.path.split("?", 1)[0]
         try:
             if path == "/metrics":
@@ -173,9 +185,11 @@ class AdminServer:
                 self._send_json(request, code, body)
             elif path == "/varz":
                 from repro.obs.hostinfo import host_metadata
-                self._send_json(request, 200, {
-                    "host": host_metadata(),
-                    "metrics": self._snapshot() or {}})
+                body = {"host": host_metadata(),
+                        "metrics": self._snapshot() or {}}
+                if self.varz is not None:
+                    body.update(self.varz())
+                self._send_json(request, 200, body)
             elif path == "/tracez":
                 tracer = self.tracer
                 if tracer is None:
@@ -197,7 +211,6 @@ class AdminServer:
                            f"{type(exc).__name__}: {exc}\n")
             except OSError:
                 pass
-        self.requests_served += 1
 
     def _send_json(self, request: BaseHTTPRequestHandler, code: int,
                    body: Dict[str, object]) -> None:

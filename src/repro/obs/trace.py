@@ -49,6 +49,7 @@ from typing import (
 #: agree on it — append only.
 WIRE_SPAN_NAMES: Tuple[str, ...] = (
     "shard_ingest", "shard_advance", "shard_drain",
+    "migrate_out", "migrate_in",
 )
 _WIRE_CODES: Dict[str, int] = {
     name: code for code, name in enumerate(WIRE_SPAN_NAMES)}

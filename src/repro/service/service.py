@@ -554,6 +554,171 @@ class MatchService:
         return notifications
 
     # ------------------------------------------------------------------
+    # Live migration hooks (used by repro.cluster)
+    # ------------------------------------------------------------------
+    def export_query_window(self, entry: RegisteredQuery
+                            ) -> Tuple[Tuple[Edge, int], ...]:
+        """The ``(edge, arrival seq)`` pairs currently inside ``entry``'s
+        engine window.
+
+        This is the subset of the service's live deque the query was
+        eligible for: arrivals at or after its join cursor that the
+        interest index routed to it (all of them under broadcast
+        fan-out).  Interest decisions depend only on the query's own
+        registration data, so re-evaluating them here reproduces exactly
+        the arrivals the engine saw.  Call *before* unregistering — the
+        lookup needs the query still indexed.
+        """
+        if not entry.active:
+            return ()
+        joined = entry.joined_seq
+        if not self.routed:
+            return tuple((edge, seq) for edge, seq in self._live
+                         if seq >= joined)
+        query_id = entry.query_id
+        lookup = self.registry.interest.lookup_ids
+        return tuple((edge, seq) for edge, seq in self._live
+                     if seq >= joined and query_id in lookup(edge))
+
+    def adopt_query(self, entry: RegisteredQuery,
+                    window: Tuple[Tuple[Edge, int], ...],
+                    tail: Tuple[Tuple[Edge, int], ...] = (), *,
+                    final_now: Optional[int] = None,
+                    drain_tail: bool = False) -> List[MatchNotification]:
+        """Adopt a migrated query: rebuild its engine window, replay the
+        in-flight tail, and merge what is still live into the shared
+        deque.
+
+        ``window`` is replayed *silently* — the source already
+        dispatched those arrivals, accounted them in the stats shipped
+        with the query, and emitted their notifications, so here they
+        only rebuild derived engine state.  ``tail`` events (arrivals
+        buffered while the query was detached) are replayed *live*
+        against a private window copy: interleaved expirations and
+        arrivals are dispatched, counted and notified exactly as the
+        normal fan-out would have.  ``final_now`` then privately expires
+        whatever fell due during the hop, and the remaining pairs are
+        merged seq-ordered into the live deque, skipping seqs the deque
+        already holds (edges this service received for its other
+        queries) so no edge ever expires twice.
+
+        Double-expiration safety: callers invoke this at a batch
+        boundary, where every expiration due at or before the global
+        clock has been flushed — so the shared deque holds only edges
+        expiring *after* ``final_now``, while the private replay only
+        ever expires edges due at or before it; the two sets cannot
+        intersect.
+        """
+        notifications: List[MatchNotification] = []
+        qwindow: Deque[Tuple[Edge, int]] = deque()
+        if entry.active and window:
+            try:
+                _run_batch(entry.engine,
+                           [Event(edge, edge.t, EventKind.ARRIVAL)
+                            for edge, _ in window])
+                qwindow.extend(window)
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                entry.mark_errored(exc)
+                self.stats.errored_queries += 1
+        if entry.active:
+            lookup = (self.registry.interest.lookup_ids if self.routed
+                      else None)
+            for edge, seq in tail:
+                self._replay_expirations(entry, qwindow, edge.t,
+                                         notifications)
+                if not entry.active:
+                    break
+                if (lookup is not None
+                        and entry.query_id not in lookup(edge)):
+                    entry.stats.events_skipped += 1
+                    self.stats.events_skipped += 1
+                    continue
+                event = Event(edge, edge.t, EventKind.ARRIVAL)
+                self._replay_event(entry, event, seq, notifications)
+                qwindow.append((edge, seq))
+            if entry.active and drain_tail:
+                while qwindow and entry.active:
+                    edge, seq = qwindow.popleft()
+                    event = Event(edge, edge.t + self.delta,
+                                  EventKind.EXPIRATION)
+                    self._replay_event(entry, event, seq, notifications)
+            elif entry.active and final_now is not None:
+                self._replay_expirations(entry, qwindow, final_now,
+                                         notifications)
+        if drain_tail or not entry.active:
+            return notifications
+        # Merge the surviving window into the shared live deque.
+        if qwindow:
+            present = {seq for _, seq in self._live}
+            fresh = [pair for pair in qwindow if pair[1] not in present]
+            if fresh:
+                merged = sorted([*self._live, *fresh],
+                                key=lambda pair: pair[1])
+                self._live = deque(merged)
+        if final_now is not None and (self._now is None
+                                      or final_now > self._now):
+            self._now = final_now
+        return notifications
+
+    def _replay_expirations(self, entry: RegisteredQuery,
+                            qwindow: Deque[Tuple[Edge, int]], t: int,
+                            out: List[MatchNotification]) -> None:
+        """Expire the private window up to ``t`` (same closing rule as
+        :meth:`_expire_until`), dispatching to ``entry`` only."""
+        delta = self.delta
+        while qwindow and entry.active and qwindow[0][0].t + delta <= t:
+            edge, seq = qwindow.popleft()
+            event = Event(edge, edge.t + delta, EventKind.EXPIRATION)
+            self._replay_event(entry, event, seq, out)
+
+    def _replay_event(self, entry: RegisteredQuery, event: Event,
+                      seq: int, out: List[MatchNotification]) -> None:
+        """Dispatch one replayed event to one entry — the per-entry body
+        of :meth:`_fanout`, with identical accounting and isolation."""
+        arrival = event.is_arrival
+        self.stats.events_routed += 1
+        stats = entry.stats
+        matches = None
+        began = time.perf_counter()
+        try:
+            if arrival:
+                matches = entry.engine.on_edge_insert(event.edge)
+            else:
+                matches = entry.engine.on_edge_expire(event.edge)
+            stats.events_processed += 1
+            if arrival:
+                stats.occurred += len(matches)
+            else:
+                stats.expired += len(matches)
+            stats.note_structure_size(
+                entry.engine.stats.peak_structure_entries)
+            for match in matches:
+                notification = MatchNotification(
+                    entry.query_id, event, match, seq)
+                if entry.result is not None:
+                    if arrival:
+                        entry.result.occurred.append((event, match))
+                    else:
+                        entry.result.expired.append((event, match))
+                for callback in entry.subscribers:
+                    callback(notification)
+                out.append(notification)
+            if entry.result is not None:
+                entry.result.events_processed += 1
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            entry.mark_errored(exc)
+            self.stats.errored_queries += 1
+        finally:
+            spent = time.perf_counter() - began
+            stats.elapsed_seconds += spent
+            if self._obs is not None:
+                engine_hist, delta_hist = self._query_observers(
+                    entry.query_id)
+                engine_hist.observe(spent)
+                if matches is not None:
+                    delta_hist.observe(len(matches))
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _expire_until(self, t: int,
